@@ -1,0 +1,13 @@
+//! `cargo bench` target for the ablation studies: §IV-E exit delay,
+//! signal-cost sensitivity, copy accounting and the split-phase extension.
+
+fn main() {
+    let iters = abr_bench::iters();
+    abr_bench::figures::print_all(&abr_bench::figures::ablation_delay(iters));
+    abr_bench::figures::print_all(&abr_bench::figures::ablation_signal_cost(iters));
+    abr_bench::figures::print_all(&abr_bench::figures::ablation_copies(iters));
+    abr_bench::figures::print_all(&abr_bench::figures::ablation_nic(iters));
+    abr_bench::figures::print_all(&abr_bench::figures::ablation_bcast(iters));
+    abr_bench::figures::print_all(&abr_bench::figures::ablation_scale(iters));
+    abr_bench::figures::print_all(&abr_bench::figures::ablation_app(iters));
+}

@@ -1,0 +1,6 @@
+//! `cargo bench` target regenerating the paper's Fig6 data series.
+//! Iteration count via ABR_ITERS (default 300).
+
+fn main() {
+    abr_bench::figures::print_all(&abr_bench::figures::fig6(abr_bench::iters()));
+}

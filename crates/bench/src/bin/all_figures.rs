@@ -1,0 +1,22 @@
+//! Regenerate every figure in the paper plus the ablations.
+
+fn main() {
+    let iters = abr_bench::iters();
+    for (name, tables) in [
+        ("fig6", abr_bench::figures::fig6(iters)),
+        ("fig7", abr_bench::figures::fig7(iters)),
+        ("fig8", abr_bench::figures::fig8(iters)),
+        ("fig9", abr_bench::figures::fig9(iters)),
+        ("fig10", abr_bench::figures::fig10(iters)),
+        ("ablation_delay", abr_bench::figures::ablation_delay(iters)),
+        ("ablation_signal_cost", abr_bench::figures::ablation_signal_cost(iters)),
+        ("ablation_copies", abr_bench::figures::ablation_copies(iters)),
+        ("ablation_nic", abr_bench::figures::ablation_nic(iters)),
+        ("ablation_bcast", abr_bench::figures::ablation_bcast(iters)),
+        ("ablation_scale", abr_bench::figures::ablation_scale(iters)),
+        ("ablation_app", abr_bench::figures::ablation_app(iters)),
+    ] {
+        println!("### {name}");
+        abr_bench::figures::print_all(&tables);
+    }
+}

@@ -1,0 +1,5 @@
+//! Regenerate Fig10 data series.
+
+fn main() {
+    abr_bench::figures::print_all(&abr_bench::figures::fig10(abr_bench::iters()));
+}

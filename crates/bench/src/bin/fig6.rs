@@ -1,0 +1,5 @@
+//! Regenerate Fig6 data series.
+
+fn main() {
+    abr_bench::figures::print_all(&abr_bench::figures::fig6(abr_bench::iters()));
+}

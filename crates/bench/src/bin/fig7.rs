@@ -1,0 +1,6 @@
+//! Regenerate Fig. 7 (CPU utilization and factor of improvement vs nodes
+//! at maximal skew).
+
+fn main() {
+    abr_bench::figures::print_all(&abr_bench::figures::fig7(abr_bench::iters()));
+}

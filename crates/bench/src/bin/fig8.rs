@@ -1,0 +1,5 @@
+//! Regenerate Fig8 data series.
+
+fn main() {
+    abr_bench::figures::print_all(&abr_bench::figures::fig8(abr_bench::iters()));
+}

@@ -1,0 +1,5 @@
+//! Regenerate Fig9 data series.
+
+fn main() {
+    abr_bench::figures::print_all(&abr_bench::figures::fig9(abr_bench::iters()));
+}

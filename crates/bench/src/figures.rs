@@ -1,0 +1,415 @@
+//! Per-figure data generation.
+
+use abr_cluster::microbench::{
+    run_app_bench, run_bcast_util, run_cpu_util, run_latency, AppBenchConfig, CpuUtilConfig,
+    LatencyConfig, Mode,
+};
+use abr_cluster::node::ClusterSpec;
+use abr_cluster::report::{f2, ratio, Table};
+use abr_core::DelayPolicy;
+use abr_gm::cost::CostModel;
+
+const ELEMS: [usize; 3] = [4, 32, 128];
+const NODE_SWEEP: [u32; 5] = [2, 4, 8, 16, 32];
+
+fn ab_mode() -> Mode {
+    Mode::Bypass(DelayPolicy::None)
+}
+
+fn cpu_cell(cluster: ClusterSpec, elems: usize, skew: u64, iters: u64, mode: Mode) -> f64 {
+    let cfg = CpuUtilConfig {
+        elems,
+        max_skew_us: skew,
+        iters,
+        mode,
+        ..CpuUtilConfig::new(cluster, mode)
+    };
+    run_cpu_util(&cfg).mean_cpu_us
+}
+
+/// Fig. 6: average CPU utilization (a) and factor of improvement (b) for 32
+/// nodes, skew 0..1000 µs, 4/32/128-element double-word messages.
+pub fn fig6(iters: u64) -> Vec<Table> {
+    let skews: Vec<u64> = (0..=1000).step_by(100).collect();
+    let mut t_util = Table::new(
+        "Fig 6a: Average CPU utilization vs max skew (32 nodes, us)",
+        &["skew_us", "nab-4", "nab-32", "nab-128", "ab-4", "ab-32", "ab-128"],
+    );
+    let mut t_foi = Table::new(
+        "Fig 6b: Factor of improvement vs max skew (32 nodes)",
+        &["skew_us", "foi-4", "foi-32", "foi-128"],
+    );
+    for &skew in &skews {
+        let mut nab = Vec::new();
+        let mut ab = Vec::new();
+        for &e in &ELEMS {
+            nab.push(cpu_cell(ClusterSpec::heterogeneous_32(), e, skew, iters, Mode::Baseline));
+            ab.push(cpu_cell(ClusterSpec::heterogeneous_32(), e, skew, iters, ab_mode()));
+        }
+        t_util.row(vec![
+            skew.to_string(),
+            f2(nab[0]),
+            f2(nab[1]),
+            f2(nab[2]),
+            f2(ab[0]),
+            f2(ab[1]),
+            f2(ab[2]),
+        ]);
+        t_foi.row(vec![
+            skew.to_string(),
+            ratio(nab[0], ab[0]),
+            ratio(nab[1], ab[1]),
+            ratio(nab[2], ab[2]),
+        ]);
+    }
+    vec![t_util, t_foi]
+}
+
+/// Fig. 7: CPU utilization (a) and factor of improvement (b) vs node count
+/// at 1000 µs maximum skew.
+pub fn fig7(iters: u64) -> Vec<Table> {
+    node_sweep_tables(iters, 1000, "Fig 7a", "Fig 7b", "maximal (1000us) skew")
+}
+
+/// Fig. 8: CPU utilization (a) and factor of improvement (b) vs node count
+/// with **no** injected skew (natural skew only).
+pub fn fig8(iters: u64) -> Vec<Table> {
+    node_sweep_tables(iters, 0, "Fig 8a", "Fig 8b", "no injected skew")
+}
+
+fn node_sweep_tables(
+    iters: u64,
+    skew: u64,
+    a_name: &str,
+    b_name: &str,
+    what: &str,
+) -> Vec<Table> {
+    let mut t_util = Table::new(
+        format!("{a_name}: Average CPU utilization vs nodes ({what}, us)"),
+        &["nodes", "nab-4", "nab-32", "nab-128", "ab-4", "ab-32", "ab-128"],
+    );
+    let mut t_foi = Table::new(
+        format!("{b_name}: Factor of improvement vs nodes ({what})"),
+        &["nodes", "foi-4", "foi-32", "foi-128"],
+    );
+    for &n in &NODE_SWEEP {
+        let mut nab = Vec::new();
+        let mut ab = Vec::new();
+        for &e in &ELEMS {
+            nab.push(cpu_cell(ClusterSpec::heterogeneous(n), e, skew, iters, Mode::Baseline));
+            ab.push(cpu_cell(ClusterSpec::heterogeneous(n), e, skew, iters, ab_mode()));
+        }
+        t_util.row(vec![
+            n.to_string(),
+            f2(nab[0]),
+            f2(nab[1]),
+            f2(nab[2]),
+            f2(ab[0]),
+            f2(ab[1]),
+            f2(ab[2]),
+        ]);
+        t_foi.row(vec![
+            n.to_string(),
+            ratio(nab[0], ab[0]),
+            ratio(nab[1], ab[1]),
+            ratio(nab[2], ab[2]),
+        ]);
+    }
+    vec![t_util, t_foi]
+}
+
+fn latency_cell(cluster: ClusterSpec, elems: usize, iters: u64, mode: Mode) -> f64 {
+    let cfg = LatencyConfig {
+        elems,
+        iters,
+        mode,
+        ..LatencyConfig::new(cluster, mode)
+    };
+    run_latency(&cfg).mean_latency_us
+}
+
+/// Fig. 9: reduction latency vs node count without skew, single-element
+/// messages: (a) the heterogeneous 32-node cluster, (b) the homogeneous
+/// 16-node 700-MHz cluster.
+pub fn fig9(iters: u64) -> Vec<Table> {
+    let mut t_het = Table::new(
+        "Fig 9a: Latency vs nodes, heterogeneous cluster (1 elem, us)",
+        &["nodes", "nab", "ab"],
+    );
+    for &n in &NODE_SWEEP {
+        let nab = latency_cell(ClusterSpec::heterogeneous(n), 1, iters, Mode::Baseline);
+        let ab = latency_cell(ClusterSpec::heterogeneous(n), 1, iters, ab_mode());
+        t_het.row(vec![n.to_string(), f2(nab), f2(ab)]);
+    }
+    let mut t_hom = Table::new(
+        "Fig 9b: Latency vs nodes, homogeneous 700-MHz cluster (1 elem, us)",
+        &["nodes", "nab", "ab"],
+    );
+    for &n in &[2u32, 4, 8, 16] {
+        let nab = latency_cell(ClusterSpec::homogeneous_700(n), 1, iters, Mode::Baseline);
+        let ab = latency_cell(ClusterSpec::homogeneous_700(n), 1, iters, ab_mode());
+        t_hom.row(vec![n.to_string(), f2(nab), f2(ab)]);
+    }
+    vec![t_het, t_hom]
+}
+
+/// Fig. 10: reduction latency vs message size (1..128 double words) on the
+/// 32-node heterogeneous cluster, no skew.
+pub fn fig10(iters: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Fig 10: Latency vs message size (32 nodes, us)",
+        &["elems", "nab", "ab", "ab-nab"],
+    );
+    for &e in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
+        let nab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, Mode::Baseline);
+        let ab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, ab_mode());
+        t.row(vec![e.to_string(), f2(nab), f2(ab), f2(ab - nab)]);
+    }
+    vec![t]
+}
+
+/// Ablation: the §IV-E exit-delay policy — signals taken and CPU cost as
+/// the delay grows, at moderate skew.
+pub fn ablation_delay(iters: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Ablation: exit-delay policy (16 nodes, 200us max skew, 4 elems)",
+        &["policy", "delay_us@16", "mean_cpu_us", "signals", "foi_vs_nab"],
+    );
+    let cluster = ClusterSpec::heterogeneous(16);
+    let nab = run_cpu_util(&CpuUtilConfig {
+        elems: 4,
+        max_skew_us: 200,
+        iters,
+        ..CpuUtilConfig::new(cluster.clone(), Mode::Baseline)
+    });
+    let policies: Vec<(String, DelayPolicy)> = vec![
+        ("none".into(), DelayPolicy::None),
+        ("fixed-50us".into(), DelayPolicy::Fixed { us: 50.0 }),
+        ("fixed-250us".into(), DelayPolicy::Fixed { us: 250.0 }),
+        ("per-proc-2us".into(), DelayPolicy::PerProcess { us_per_process: 2.0 }),
+        ("per-proc-15us".into(), DelayPolicy::PerProcess { us_per_process: 15.0 }),
+        ("per-level-20us".into(), DelayPolicy::PerTreeLevel { us_per_level: 20.0 }),
+    ];
+    for (name, p) in policies {
+        let r = run_cpu_util(&CpuUtilConfig {
+            elems: 4,
+            max_skew_us: 200,
+            iters,
+            mode: Mode::Bypass(p),
+            ..CpuUtilConfig::new(cluster.clone(), Mode::Bypass(p))
+        });
+        t.row(vec![
+            name,
+            f2(p.budget(16).as_us_f64()),
+            f2(r.mean_cpu_us),
+            r.signals.to_string(),
+            ratio(nab.mean_cpu_us, r.mean_cpu_us),
+        ]);
+    }
+    vec![t]
+}
+
+/// Ablation: sensitivity of the factor of improvement to the signal cost
+/// (the interrupt-vs-poll trade at the heart of the design).
+pub fn ablation_signal_cost(iters: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Ablation: signal-cost sensitivity (32 nodes, 1000us skew, 4 elems)",
+        &["signal_us", "nab_cpu_us", "ab_cpu_us", "foi"],
+    );
+    for &sig in &[1.0f64, 2.5, 5.5, 11.0, 22.0, 44.0] {
+        let cost = CostModel {
+            signal_delivery_us: sig * 0.8,
+            signal_handler_entry_us: sig * 0.2,
+            ..CostModel::default()
+        };
+        let cluster = ClusterSpec::heterogeneous_32().with_cost(cost);
+        let nab = cpu_cell(cluster.clone(), 4, 1000, iters, Mode::Baseline);
+        let ab = cpu_cell(cluster, 4, 1000, iters, ab_mode());
+        t.row(vec![f2(sig), f2(nab), f2(ab), ratio(nab, ab)]);
+    }
+    vec![t]
+}
+
+/// Ablation: the copy-count claims of §V (50% fewer copies for unexpected
+/// messages, 100% for expected/late) plus the split-phase extension.
+pub fn ablation_copies(iters: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Copy accounting and split-phase (16 nodes, 300us skew, 32 elems)",
+        &["mode", "mean_cpu_us", "copies", "copy_bytes", "copies_saved", "signals"],
+    );
+    let cluster = ClusterSpec::heterogeneous(16);
+    for mode in [Mode::Baseline, ab_mode(), Mode::SplitPhase] {
+        let r = run_cpu_util(&CpuUtilConfig {
+            elems: 32,
+            max_skew_us: 300,
+            iters,
+            mode,
+            ..CpuUtilConfig::new(cluster.clone(), mode)
+        });
+        let get = |k: &str| {
+            r.counters
+                .iter()
+                .find(|(n, _)| *n == k)
+                .map(|&(_, v)| v)
+                .unwrap_or(0)
+        };
+        t.row(vec![
+            mode.label().to_string(),
+            f2(r.mean_cpu_us),
+            get("copies").to_string(),
+            get("copy_bytes").to_string(),
+            get("copies_saved").to_string(),
+            r.signals.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// Ablation: the §VII NIC-based reduction extension — how much host CPU the
+/// NIC absorbs, and where the slow LANai arithmetic starts to hurt latency.
+pub fn ablation_nic(iters: u64) -> Vec<Table> {
+    let cluster = ClusterSpec::heterogeneous(16);
+    let mut t = Table::new(
+        "Ablation: NIC-based reduction, CPU (16 nodes, 500us max skew, 4 elems)",
+        &["mode", "host_cpu_us", "nic_us_total", "signals"],
+    );
+    for mode in [Mode::Baseline, ab_mode(), Mode::NicBypass] {
+        let r = run_cpu_util(&CpuUtilConfig {
+            elems: 4,
+            max_skew_us: 500,
+            iters,
+            mode,
+            ..CpuUtilConfig::new(cluster.clone(), mode)
+        });
+        t.row(vec![
+            mode.label().to_string(),
+            f2(r.mean_cpu_us),
+            f2(r.nic_us_total),
+            r.signals.to_string(),
+        ]);
+    }
+    let mut t2 = Table::new(
+        "Ablation: NIC-based reduction, latency vs message size (32 nodes, us)",
+        &["elems", "nab", "ab", "ab-nic"],
+    );
+    for &e in &[1usize, 8, 32, 128, 512] {
+        let nab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, Mode::Baseline);
+        let ab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, ab_mode());
+        let nic = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, Mode::NicBypass);
+        t2.row(vec![e.to_string(), f2(nab), f2(ab), f2(nic)]);
+    }
+    vec![t, t2]
+}
+
+/// Ablation: application-bypass *broadcast* (the ref. \[8\] companion
+/// system) — a skewed root stalls the blocking broadcast's whole tree;
+/// bypass frees it.
+pub fn ablation_bcast(iters: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Ablation: application-bypass broadcast (16 nodes, 4 elems)",
+        &["skew_us", "blocking_us", "bypass_us", "foi", "signals"],
+    );
+    for &skew in &[0u64, 250, 500, 1000] {
+        let base = CpuUtilConfig {
+            elems: 4,
+            max_skew_us: skew,
+            iters,
+            ..CpuUtilConfig::new(ClusterSpec::heterogeneous(16), Mode::Baseline)
+        };
+        let blocking = run_bcast_util(&base);
+        let bypass = run_bcast_util(&CpuUtilConfig {
+            mode: ab_mode(),
+            ..base.clone()
+        });
+        t.row(vec![
+            skew.to_string(),
+            f2(blocking.mean_cpu_us),
+            f2(bypass.mean_cpu_us),
+            ratio(blocking.mean_cpu_us, bypass.mean_cpu_us),
+            bypass.signals.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// Ablation: §VII's first future-work item — "evaluate the performance of
+/// application-bypass operations on large-scale clusters" — taken beyond
+/// the paper's 32-node testbed.
+pub fn ablation_scale(iters: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Ablation: scaling beyond the testbed (1000us max skew, 4 elems)",
+        &["nodes", "nab_us", "ab_us", "foi", "ab_split_us", "foi_split"],
+    );
+    for &n in &[32u32, 64, 128, 256] {
+        let base = CpuUtilConfig {
+            elems: 4,
+            max_skew_us: 1000,
+            iters,
+            ..CpuUtilConfig::new(ClusterSpec::heterogeneous(n), Mode::Baseline)
+        };
+        let nab = run_cpu_util(&base);
+        let ab = run_cpu_util(&CpuUtilConfig {
+            mode: ab_mode(),
+            ..base.clone()
+        });
+        let split = run_cpu_util(&CpuUtilConfig {
+            mode: Mode::SplitPhase,
+            ..base.clone()
+        });
+        t.row(vec![
+            n.to_string(),
+            f2(nab.mean_cpu_us),
+            f2(ab.mean_cpu_us),
+            ratio(nab.mean_cpu_us, ab.mean_cpu_us),
+            f2(split.mean_cpu_us),
+            ratio(nab.mean_cpu_us, split.mean_cpu_us),
+        ]);
+    }
+    vec![t]
+}
+
+/// Ablation: §VII's second future-work item — an application-based
+/// evaluation. A bulk-synchronous app (imbalanced compute + per-sweep
+/// residual reduction, no barriers) measured by *time-to-solution*.
+pub fn ablation_app(iters: u64) -> Vec<Table> {
+    let mut t = Table::new(
+        "Ablation: application benchmark — 50 imbalanced sweeps, no barriers",
+        &["nodes", "imbalance", "nab_makespan", "ab_makespan", "split_makespan", "nab_cpu", "ab_cpu", "split_cpu"],
+    );
+    let sweeps = iters.clamp(20, 200);
+    for &(n, imb) in &[(8u32, 0.5f64), (8, 2.0), (32, 0.5), (32, 2.0)] {
+        let base = AppBenchConfig {
+            sweeps,
+            imbalance: imb,
+            ..AppBenchConfig::new(ClusterSpec::heterogeneous(n), Mode::Baseline)
+        };
+        let nab = run_app_bench(&base);
+        let ab = run_app_bench(&AppBenchConfig {
+            mode: ab_mode(),
+            ..base.clone()
+        });
+        let split = run_app_bench(&AppBenchConfig {
+            mode: Mode::SplitPhase,
+            ..base.clone()
+        });
+        t.row(vec![
+            n.to_string(),
+            format!("{imb:.1}"),
+            f2(nab.makespan_us),
+            f2(ab.makespan_us),
+            f2(split.makespan_us),
+            f2(nab.runtime_cpu_us),
+            f2(ab.runtime_cpu_us),
+            f2(split.runtime_cpu_us),
+        ]);
+    }
+    vec![t]
+}
+
+/// Print a set of tables.
+pub fn print_all(tables: &[Table]) {
+    for t in tables {
+        t.print();
+        println!();
+    }
+}

@@ -1,0 +1,22 @@
+//! `abr_bench` — figure regeneration and ablations.
+//!
+//! One function per figure in the paper's evaluation (§VI). Each returns
+//! printable tables with the same series the paper plots; the `benches/`
+//! targets (run by `cargo bench`) and the `src/bin/` binaries print them.
+//!
+//! Iteration counts default to a few hundred (the paper used 10,000 on real
+//! hardware); override with the `ABR_ITERS` environment variable. Shapes —
+//! who wins, by what factor, where the crossovers sit — are the
+//! reproduction target, not absolute microseconds.
+
+#![warn(missing_docs)]
+
+pub mod figures;
+
+/// Iterations per configuration, from `ABR_ITERS` (default 300).
+pub fn iters() -> u64 {
+    std::env::var("ABR_ITERS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300)
+}

@@ -1,0 +1,683 @@
+//! The discrete-event driver.
+//!
+//! Runs one [`Program`] per node against one [`MessageEngine`] per node,
+//! under virtual time:
+//!
+//! * **Blocking MPI calls** are emulated the way the default MPICH
+//!   implementation actually behaves: the node's CPU busy-polls from the
+//!   moment the call stalls until the packet that unblocks it arrives. The
+//!   driver charges that whole wall-time span as polling CPU — which is
+//!   precisely the cost the paper's application-bypass design eliminates
+//!   for internal tree nodes.
+//! * **Signals** follow §V-A: only collective-type packets raise them, only
+//!   while the engine has them enabled, and a signal arriving while the
+//!   node is already inside the progress engine (blocked-polling) is
+//!   ignored — the poll loop will pick the packet up anyway. A delivered
+//!   signal *preempts* whatever the node is doing (busy loops included),
+//!   pushing the interrupted work's completion back by the handler time.
+//! * **Bounded blocks** implement the §IV-E exit delay: when an engine
+//!   reports a bounded-block hint for a request, the driver keeps the node
+//!   polling inside the call until the budget expires, then calls
+//!   [`MessageEngine::split_phase_exit`].
+//! * **Heterogeneity**: protocol and handler CPU charges are scaled by the
+//!   node's CPU class; packet delivery times come from the GM network model
+//!   with per-class PCI/LANai costs and per-(src,dst) FIFO ordering.
+
+use crate::node::ClusterSpec;
+use crate::program::{Obs, Program, Step, StepCtx};
+use abr_des::meter::CpuCategory;
+use abr_des::{CpuMeter, EventId, EventQueue, SimDuration, SimTime};
+use abr_gm::nic::{Network, NodeHw};
+use abr_gm::packet::Packet;
+use abr_gm::signal::SignalControl;
+use abr_mpr::engine::{Action, EngineConfig, MessageEngine};
+use abr_mpr::request::Outcome;
+use abr_mpr::types::TagSel;
+use abr_mpr::ReqId;
+use std::collections::HashMap;
+
+enum Ev {
+    Deliver { node: usize, pkt: Packet },
+    StepDone { node: usize, gen: u64 },
+    Deadline { node: usize, req: u64, gen: u64 },
+    Kick { node: usize },
+}
+
+enum NodeState {
+    /// Executing a busy-loop step; `charge` is applied when it completes.
+    Busy {
+        charge: SimDuration,
+        event: EventId,
+    },
+    /// Inside a blocking MPI call, busy-polling.
+    Blocked {
+        req: ReqId,
+        deadline_event: Option<EventId>,
+    },
+    /// Program finished.
+    Done,
+}
+
+struct NodeCell<E: MessageEngine> {
+    engine: E,
+    hw: NodeHw,
+    signal: SignalControl,
+    meter: CpuMeter,
+    program: Box<dyn Program>,
+    ctx: StepCtx,
+    state: NodeState,
+    /// When this node's CPU is next free.
+    cpu_free_at: SimTime,
+    /// While blocked: the instant polling (idle-burn) resumed.
+    poll_from: SimTime,
+    kick_pending: bool,
+    /// Generation counter invalidating stale StepDone/Deadline/Kick events.
+    gen: u64,
+    /// Outstanding split-phase reduce request, if any.
+    split_req: Option<ReqId>,
+    /// Synthesized signals (enable-with-backlog edge).
+    synth_signals: u64,
+    /// CPU time consumed by delivered-but-ignored signals, applied to the
+    /// node's cursor at the next wake.
+    interrupt_debt: SimDuration,
+    /// NIC time from the most recent `apply_charges` (drives NIC-side
+    /// forwarding latency in the offload extension).
+    last_nic_charge: SimDuration,
+}
+
+/// One recorded span of node activity (timeline introspection; used by the
+/// Fig. 2 time-line reproduction).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TimelineEvent {
+    /// Node index.
+    pub node: usize,
+    /// What the node (or its NIC) was doing.
+    pub kind: CpuCategory,
+    /// Span start.
+    pub start: SimTime,
+    /// Span length.
+    pub dur: SimDuration,
+}
+
+/// Per-node results extracted after a run.
+#[derive(Debug, Clone)]
+pub struct NodeResult {
+    /// Observations recorded by the node's program.
+    pub obs: Vec<Obs>,
+    /// Total CPU charged, by category (µs).
+    pub cpu_app_us: f64,
+    /// Polling CPU (µs).
+    pub cpu_poll_us: f64,
+    /// Protocol CPU (µs).
+    pub cpu_protocol_us: f64,
+    /// Signal-handler CPU (µs).
+    pub cpu_signal_us: f64,
+    /// NIC-processor time (µs) — not host CPU.
+    pub cpu_nic_us: f64,
+    /// Signals actually taken.
+    pub signals_raised: u64,
+    /// Signals suppressed because progress was underway.
+    pub signals_suppressed_busy: u64,
+    /// Engine counters.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// The discrete-event driver. See module docs.
+pub struct DesDriver<E: MessageEngine> {
+    queue: EventQueue<Ev>,
+    network: Network,
+    nodes: Vec<NodeCell<E>>,
+    wire_seq: HashMap<(u32, u32), u64>,
+    done_count: usize,
+    max_events: u64,
+    /// Total packets delivered.
+    pub packets_delivered: u64,
+    timeline: Option<Vec<TimelineEvent>>,
+}
+
+impl<E: MessageEngine> DesDriver<E> {
+    /// Build a driver for `spec`, constructing one engine per rank with
+    /// `make_engine` and running `programs[rank]` on it.
+    pub fn new(
+        spec: &ClusterSpec,
+        mut make_engine: impl FnMut(u32, EngineConfig) -> E,
+        programs: Vec<Box<dyn Program>>,
+    ) -> Self {
+        let n = spec.len();
+        assert_eq!(programs.len(), n, "one program per rank");
+        assert!(n >= 1);
+        let config = EngineConfig {
+            cost: spec.cost.clone(),
+            eager_limit: spec.eager_limit,
+            memory_budget: None,
+            allreduce_rs_threshold: 2048,
+        };
+        let nodes = programs
+            .into_iter()
+            .enumerate()
+            .map(|(i, program)| NodeCell {
+                engine: make_engine(i as u32, config.clone()),
+                hw: spec.nodes[i],
+                signal: SignalControl::new(),
+                meter: CpuMeter::new(),
+                program,
+                ctx: StepCtx::new(),
+                state: NodeState::Done, // replaced at start
+                cpu_free_at: SimTime::ZERO,
+                poll_from: SimTime::ZERO,
+                kick_pending: false,
+                gen: 0,
+                split_req: None,
+                synth_signals: 0,
+                interrupt_debt: SimDuration::ZERO,
+                last_nic_charge: SimDuration::ZERO,
+            })
+            .collect();
+        DesDriver {
+            queue: EventQueue::new(),
+            network: Network::new(spec.cost.clone()),
+            nodes,
+            wire_seq: HashMap::new(),
+            done_count: 0,
+            max_events: 2_000_000_000,
+            packets_delivered: 0,
+            timeline: None,
+        }
+    }
+
+    /// Record a timeline of per-node activity spans (off by default; it
+    /// costs memory proportional to the event count).
+    pub fn with_timeline(mut self) -> Self {
+        self.timeline = Some(Vec::new());
+        self
+    }
+
+    /// The recorded timeline, if enabled.
+    pub fn timeline(&self) -> Option<&[TimelineEvent]> {
+        self.timeline.as_deref()
+    }
+
+    fn record_span(&mut self, node: usize, kind: CpuCategory, start: SimTime, dur: SimDuration) {
+        if dur.is_zero() {
+            return;
+        }
+        if let Some(tl) = &mut self.timeline {
+            tl.push(TimelineEvent {
+                node,
+                kind,
+                start,
+                dur,
+            });
+        }
+    }
+
+    /// Cap the number of events (runaway protection in tests).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Run to completion (every program `Done`).
+    ///
+    /// # Panics
+    /// Panics on deadlock (event queue drained with programs unfinished) or
+    /// on exceeding the event cap.
+    pub fn run(&mut self) {
+        let n = self.nodes.len();
+        for i in 0..n {
+            self.advance_program(i, SimTime::ZERO);
+        }
+        let mut events = 0u64;
+        while self.done_count < n {
+            let Some(ev) = self.queue.pop() else {
+                let stuck: Vec<usize> = self
+                    .nodes
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, c)| !matches!(c.state, NodeState::Done))
+                    .map(|(i, _)| i)
+                    .collect();
+                panic!("DES deadlock: nodes {stuck:?} never finished");
+            };
+            events += 1;
+            assert!(events <= self.max_events, "event cap exceeded: livelock?");
+            let at = ev.at;
+            match ev.payload {
+                Ev::Deliver { node, pkt } => self.on_deliver(node, pkt, at),
+                Ev::StepDone { node, gen } => self.on_step_done(node, gen, at),
+                Ev::Deadline { node, req, gen } => self.on_deadline(node, req, gen, at),
+                Ev::Kick { node } => self.on_kick(node, at),
+            }
+        }
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.queue.now()
+    }
+
+    /// The network (post-run statistics).
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Extract per-node results.
+    pub fn results(&self) -> Vec<NodeResult> {
+        self.nodes
+            .iter()
+            .map(|c| NodeResult {
+                obs: c.ctx.obs.clone(),
+                cpu_app_us: c.meter.category(CpuCategory::Application).as_us_f64(),
+                cpu_poll_us: c.meter.category(CpuCategory::Polling).as_us_f64(),
+                cpu_protocol_us: c.meter.category(CpuCategory::Protocol).as_us_f64(),
+                cpu_signal_us: c.meter.category(CpuCategory::SignalHandler).as_us_f64(),
+                cpu_nic_us: c.meter.category(CpuCategory::NicOffload).as_us_f64(),
+                signals_raised: c.signal.raised() + c.synth_signals,
+                signals_suppressed_busy: c.signal.suppressed_progress_underway(),
+                counters: c.engine.counters(),
+            })
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Engine service helpers
+    // ------------------------------------------------------------------
+
+    /// Drain the engine's CPU charges into the node meter, scaling host
+    /// work by the CPU class and NIC work by the LANai clock. Returns the
+    /// total *host* time (NIC work runs on the NIC processor, concurrently).
+    fn apply_charges(&mut self, i: usize) -> SimDuration {
+        let cell = &mut self.nodes[i];
+        let c = cell.engine.take_charges();
+        let protocol = cell.hw.scale_cpu(c.protocol);
+        let signal = cell.hw.scale_cpu(c.signal);
+        // Polling entry costs scale with the CPU too.
+        let polling = cell.hw.scale_cpu(c.polling);
+        let nic = c.nic.scaled_f64(cell.hw.lanai.per_packet_scale());
+        cell.meter.charge(CpuCategory::Polling, polling);
+        cell.meter.charge(CpuCategory::Protocol, protocol);
+        cell.meter.charge(CpuCategory::SignalHandler, signal);
+        cell.meter.charge(CpuCategory::NicOffload, nic);
+        cell.last_nic_charge = nic;
+        polling + protocol + signal
+    }
+
+    /// Route the engine's pending actions. Sends are stamped `stamp`.
+    fn route_actions(&mut self, i: usize, stamp: SimTime) {
+        let actions = self.nodes[i].engine.drain_actions();
+        for a in actions {
+            match a {
+                Action::Send(mut pkt) => {
+                    let key = (pkt.header.src.0, pkt.header.dst.0);
+                    let seq = self.wire_seq.entry(key).or_insert(0);
+                    pkt.header.wire_seq = *seq;
+                    *seq += 1;
+                    let dst = pkt.header.dst.index();
+                    let src_hw = self.nodes[i].hw;
+                    let dst_hw = self.nodes[dst].hw;
+                    let arrive = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt);
+                    self.queue.schedule(arrive, Ev::Deliver { node: dst, pkt });
+                }
+                Action::EnableSignals => {
+                    self.nodes[i].signal.enable();
+                }
+                Action::DisableSignals => {
+                    self.nodes[i].signal.disable();
+                }
+            }
+        }
+    }
+
+    /// The node just ran engine work inline at `t`: charge it, advance the
+    /// CPU cursor, route outputs. Returns the new CPU-free instant.
+    fn finish_call(&mut self, i: usize, t: SimTime) -> SimTime {
+        let w = self.apply_charges(i);
+        self.record_span(i, CpuCategory::Protocol, t, w);
+        let end = t + w;
+        self.nodes[i].cpu_free_at = end;
+        self.route_actions(i, end);
+        end
+    }
+
+    /// Signals were just enabled while collective packets already sat in
+    /// the receive queue (the enable-with-backlog edge §V-A must not lose):
+    /// the NIC raises a signal immediately.
+    fn maybe_synth_signal(&mut self, i: usize, t: SimTime) {
+        if matches!(self.nodes[i].state, NodeState::Blocked { .. }) {
+            return;
+        }
+        if self.nodes[i].signal.is_enabled() && self.nodes[i].engine.has_pending_signal_work() {
+            self.nodes[i].synth_signals += 1;
+            self.run_handler(i, t);
+        }
+    }
+
+    /// Deliver a signal: run the asynchronous handler, preempting whatever
+    /// the node is doing.
+    fn run_handler(&mut self, i: usize, t: SimTime) {
+        self.nodes[i].engine.handle_signal();
+        let w = self.apply_charges(i);
+        self.record_span(i, CpuCategory::SignalHandler, t, w);
+        match self.nodes[i].state {
+            NodeState::Busy { charge, event } => {
+                // Preemption: the busy step finishes `w` later.
+                let new_end = self.nodes[i].cpu_free_at + w;
+                self.queue.cancel(event);
+                let gen = self.nodes[i].gen;
+                let new_event = self
+                    .queue
+                    .schedule(new_end, Ev::StepDone { node: i, gen });
+                self.nodes[i].state = NodeState::Busy {
+                    charge,
+                    event: new_event,
+                };
+                self.nodes[i].cpu_free_at = new_end;
+                self.route_actions(i, t + w);
+            }
+            _ => {
+                let end = self.nodes[i].cpu_free_at.max(t) + w;
+                self.nodes[i].cpu_free_at = end;
+                self.route_actions(i, end);
+            }
+        }
+        // The handler may have enabled... no: handlers only disable. But
+        // inner cranking may have freed follow-on work; nothing to do.
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers
+    // ------------------------------------------------------------------
+
+    fn on_deliver(&mut self, i: usize, pkt: Packet, t: SimTime) {
+        self.packets_delivered += 1;
+        // NIC-side pre-processing (the §VII extension) happens at arrival,
+        // on the NIC processor, regardless of what the host is doing.
+        let Some(pkt) = self.nodes[i].engine.nic_preprocess(pkt) else {
+            let _nic_host = self.apply_charges(i); // charges NIC meter; host part ~0
+            debug_assert!(_nic_host.is_zero(), "NIC preprocessing charged host CPU");
+            // The NIC serializes matching and arithmetic before it can
+            // forward a result: the LANai's slow per-element ops delay the
+            // result on its way up the tree (refs. \[9\]/\[11\]'s trade-off).
+            let nic_busy = self.nodes[i].last_nic_charge;
+            self.record_span(i, CpuCategory::NicOffload, t, nic_busy);
+            self.route_actions(i, t + nic_busy);
+            if matches!(self.nodes[i].state, NodeState::Blocked { .. }) {
+                if t >= self.nodes[i].cpu_free_at {
+                    self.wake_blocked(i, t);
+                } else if !self.nodes[i].kick_pending {
+                    self.nodes[i].kick_pending = true;
+                    let at = self.nodes[i].cpu_free_at;
+                    self.queue.schedule(at, Ev::Kick { node: i });
+                }
+            }
+            return;
+        };
+        let blocked = matches!(self.nodes[i].state, NodeState::Blocked { .. });
+        let arrival = self.nodes[i].signal.on_arrival(&pkt, blocked);
+        let signal = arrival.is_ok();
+        if arrival == Err(abr_gm::signal::SignalSuppression::ProgressUnderway) {
+            // The NIC still raised the signal; the kernel-to-user delivery
+            // is paid even though the handler body is skipped (Fig. 4's
+            // "simply ignored" signal is not free).
+            let cost = self.network.cost().signal_ignored_cost();
+            self.nodes[i]
+                .meter
+                .charge(CpuCategory::SignalHandler, cost);
+            self.nodes[i].interrupt_debt += cost;
+        }
+        self.nodes[i].engine.deliver(pkt);
+        if blocked {
+            if t >= self.nodes[i].cpu_free_at {
+                self.wake_blocked(i, t);
+            } else if !self.nodes[i].kick_pending {
+                self.nodes[i].kick_pending = true;
+                let at = self.nodes[i].cpu_free_at;
+                self.queue.schedule(at, Ev::Kick { node: i });
+            }
+        } else if signal {
+            self.run_handler(i, t);
+        }
+        // Busy/Done without signal: the packet waits in the receive queue
+        // until something triggers the progress engine — exactly the stock
+        // MPICH behaviour the paper describes.
+    }
+
+    fn on_kick(&mut self, i: usize, t: SimTime) {
+        // Kicks are deliberately NOT generation-checked: a kick scheduled
+        // for one blocking call may fire during a later one, where it is a
+        // harmless extra progress pass — but dropping it while leaving
+        // `kick_pending` set would lose the wakeup entirely.
+        self.nodes[i].kick_pending = false;
+        if matches!(self.nodes[i].state, NodeState::Blocked { .. }) {
+            self.wake_blocked(i, t);
+        }
+    }
+
+    fn on_step_done(&mut self, i: usize, gen: u64, t: SimTime) {
+        if self.nodes[i].gen != gen {
+            return;
+        }
+        let NodeState::Busy { charge, .. } = self.nodes[i].state else {
+            return;
+        };
+        // The busy loop's own CPU is charged on completion (handler
+        // preemptions were charged separately as they happened).
+        self.nodes[i].meter.charge(CpuCategory::Application, charge);
+        // Approximate span: the busy loop ended at `t` after consuming
+        // `charge` of CPU (handler preemptions interleave within it).
+        let span_start = SimTime::from_nanos(t.as_nanos().saturating_sub(charge.as_nanos()));
+        self.record_span(i, CpuCategory::Application, span_start, charge);
+        self.nodes[i].gen += 1;
+        self.advance_program(i, t);
+    }
+
+    fn on_deadline(&mut self, i: usize, req_raw: u64, gen: u64, t: SimTime) {
+        if self.nodes[i].gen != gen {
+            return;
+        }
+        let NodeState::Blocked { req, .. } = self.nodes[i].state else {
+            return;
+        };
+        if req.raw() != req_raw {
+            return;
+        }
+        // Charge the tail of the bounded poll.
+        let poll_from = self.nodes[i].poll_from;
+        if t > poll_from {
+            self.nodes[i]
+                .meter
+                .charge(CpuCategory::Polling, t - poll_from);
+            self.record_span(i, CpuCategory::Polling, poll_from, t - poll_from);
+        }
+        let exit_at = self.nodes[i].cpu_free_at.max(t);
+        self.nodes[i].engine.split_phase_exit(req);
+        let end = self.finish_call(i, exit_at);
+        debug_assert!(self.nodes[i].engine.test(req), "split exit must complete the call");
+        let _ = self.nodes[i].engine.take_outcome(req);
+        self.nodes[i].gen += 1;
+        self.maybe_synth_signal(i, end);
+        self.advance_program(i, end);
+    }
+
+    /// A blocked node's CPU gets new input at `t`: charge the poll burn,
+    /// run the progress engine, and resume the program if the request
+    /// completed.
+    fn wake_blocked(&mut self, i: usize, t: SimTime) {
+        let NodeState::Blocked { req, deadline_event } = self.nodes[i].state else {
+            return;
+        };
+        let poll_from = self.nodes[i].poll_from;
+        if t > poll_from {
+            self.nodes[i]
+                .meter
+                .charge(CpuCategory::Polling, t - poll_from);
+            self.record_span(i, CpuCategory::Polling, poll_from, t - poll_from);
+        }
+        // Ignored-signal deliveries stole CPU while the node polled; the
+        // lost time shows up as extra elapsed work now.
+        let debt = std::mem::take(&mut self.nodes[i].interrupt_debt);
+        self.nodes[i].engine.progress();
+        let end = self.finish_call(i, t.max(poll_from) + debt);
+        self.nodes[i].poll_from = end;
+        if self.nodes[i].engine.test(req) {
+            if let Some(ev) = deadline_event {
+                self.queue.cancel(ev);
+            }
+            self.consume_outcome(i, req);
+            self.nodes[i].gen += 1;
+            self.maybe_synth_signal(i, end);
+            self.advance_program(i, end);
+        }
+    }
+
+    fn consume_outcome(&mut self, i: usize, req: ReqId) {
+        match self.nodes[i].engine.take_outcome(req) {
+            Some(Outcome::Data(d)) => self.nodes[i].ctx.last_data = Some(d),
+            Some(Outcome::Done) | None => {}
+            Some(Outcome::Failed(e)) => panic!("rank {i}: operation failed: {e}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Program execution
+    // ------------------------------------------------------------------
+
+    /// Run program steps starting at `start` until the node blocks, starts
+    /// a busy loop, or finishes.
+    fn advance_program(&mut self, i: usize, start: SimTime) {
+        let mut t = start.max(self.nodes[i].cpu_free_at);
+        loop {
+            self.nodes[i].ctx.now = t;
+            let step = {
+                let cell = &mut self.nodes[i];
+                cell.program.next(&mut cell.ctx)
+            };
+            match step {
+                Step::Busy(d) => {
+                    let end = t + d;
+                    let gen = self.nodes[i].gen;
+                    let event = self.queue.schedule(end, Ev::StepDone { node: i, gen });
+                    self.nodes[i].state = NodeState::Busy { charge: d, event };
+                    self.nodes[i].cpu_free_at = end;
+                    return;
+                }
+                Step::WindowStart => {
+                    self.nodes[i].meter.window_start();
+                }
+                Step::WindowStop => {
+                    let w = self.nodes[i].meter.window_stop();
+                    self.nodes[i].ctx.last_window = Some(w);
+                }
+                Step::Done => {
+                    self.nodes[i].state = NodeState::Done;
+                    self.nodes[i].gen += 1;
+                    self.done_count += 1;
+                    return;
+                }
+                Step::ReduceSplit {
+                    root,
+                    op,
+                    dtype,
+                    data,
+                } => {
+                    let comm = self.nodes[i].engine.world();
+                    let req = self.nodes[i]
+                        .engine
+                        .ireduce_split(&comm, root, op, dtype, &data);
+                    t = self.finish_call(i, t);
+                    self.nodes[i].split_req = Some(req);
+                    // Not a blocking call: fall through to the next step.
+                }
+                Step::BcastSplit { root, data, len } => {
+                    let comm = self.nodes[i].engine.world();
+                    let req = self.nodes[i].engine.ibcast_split(&comm, root, data, len);
+                    t = self.finish_call(i, t);
+                    self.nodes[i].split_req = Some(req);
+                    // Not a blocking call: fall through to the next step.
+                }
+                Step::WaitSplit => {
+                    let Some(req) = self.nodes[i].split_req.take() else {
+                        continue;
+                    };
+                    if !self.nodes[i].engine.test(req) {
+                        // Entering the wait triggers a progress pass, which
+                        // drains packets that landed during application
+                        // compute.
+                        self.nodes[i].engine.progress();
+                        t = self.finish_call(i, t);
+                    }
+                    if self.nodes[i].engine.test(req) {
+                        self.consume_outcome(i, req);
+                        continue;
+                    }
+                    self.block_on(i, req, t);
+                    return;
+                }
+                step => {
+                    // Blocking operations.
+                    let req = self.post_blocking(i, step);
+                    t = self.finish_call(i, t);
+                    if !self.nodes[i].engine.test(req) {
+                        // Entering a blocking call triggers the progress
+                        // engine (Fig. 4 left entry): packets that arrived
+                        // while the application was computing get matched
+                        // before the node settles into its poll loop.
+                        self.nodes[i].engine.progress();
+                        t = self.finish_call(i, t);
+                    }
+                    if self.nodes[i].engine.test(req) {
+                        self.consume_outcome(i, req);
+                        self.maybe_synth_signal(i, t);
+                        t = t.max(self.nodes[i].cpu_free_at);
+                        continue;
+                    }
+                    self.block_on(i, req, t);
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Enter the blocked state on `req` at time `t`. Returns true if the
+    /// request completed synchronously after all (never happens today, but
+    /// keeps the call site honest).
+    fn block_on(&mut self, i: usize, req: ReqId, t: SimTime) -> bool {
+        let deadline_event = self.nodes[i].engine.bounded_block_hint(req).map(|budget| {
+            let gen = self.nodes[i].gen;
+            self.queue.schedule(
+                t + budget,
+                Ev::Deadline {
+                    node: i,
+                    req: req.raw(),
+                    gen,
+                },
+            )
+        });
+        self.nodes[i].state = NodeState::Blocked {
+            req,
+            deadline_event,
+        };
+        self.nodes[i].poll_from = t;
+        self.nodes[i].cpu_free_at = t;
+        false
+    }
+
+    fn post_blocking(&mut self, i: usize, step: Step) -> ReqId {
+        let comm = self.nodes[i].engine.world();
+        let e = &mut self.nodes[i].engine;
+        match step {
+            Step::Reduce {
+                root,
+                op,
+                dtype,
+                data,
+            } => e.ireduce(&comm, root, op, dtype, &data),
+            Step::Allreduce { op, dtype, data } => e.iallreduce(&comm, op, dtype, &data),
+            Step::Bcast { root, data, len } => e.ibcast(&comm, root, data, len),
+            Step::Barrier => e.ibarrier(&comm),
+            Step::Send { dst, tag, data } => e.isend(&comm, dst, tag, data),
+            Step::Recv { src, tag, cap } => e.irecv(&comm, Some(src), TagSel::Is(tag), cap),
+            other => unreachable!("not a blocking step: {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,637 @@
+//! The live threaded runtime.
+//!
+//! One OS thread per rank runs real application code against a
+//! [`RankCtx`] handle; one *dispatcher* thread per rank plays the role of
+//! the NIC+kernel signal path: it watches the rank's mailbox and, when
+//! signals are enabled and a collective packet arrives, grabs the engine
+//! lock and runs the asynchronous handler. If the application thread holds
+//! the lock (progress already underway), the dispatcher skips — the live
+//! analogue of Fig. 4's "signal is simply ignored".
+//!
+//! The protocol engines are byte-for-byte the same objects the
+//! discrete-event driver runs; this runtime exists to demonstrate the
+//! system end-to-end with real threads and real (wall-clock) skew, and to
+//! cross-check results between the two drivers.
+
+use crate::node::ClusterSpec;
+use abr_core::{AbConfig, AbEngine};
+use abr_gm::live::{LiveFabric, Mailbox};
+use abr_gm::packet::{NodeId, PacketKind};
+use abr_mpr::engine::{Action, EngineConfig, MessageEngine};
+use abr_mpr::op::ReduceOp;
+use abr_mpr::request::Outcome;
+use abr_mpr::types::{Datatype, MprError, Rank, TagSel};
+use abr_mpr::{Communicator, ReqId};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// How long a dispatcher sleeps when it cannot act.
+const DISPATCH_IDLE: Duration = Duration::from_micros(200);
+/// How long a blocked application thread waits for mail before re-polling.
+const BLOCK_POLL: Duration = Duration::from_micros(100);
+
+struct RankShared {
+    engine: Mutex<AbEngine>,
+    mailbox: Arc<Mailbox>,
+    fabric: Arc<LiveFabric>,
+    signals_enabled: AtomicBool,
+}
+
+impl RankShared {
+    /// Drain the mailbox into the engine and run `f`, then route actions.
+    /// The caller must hold no engine lock.
+    fn with_engine<T>(&self, f: impl FnOnce(&mut AbEngine) -> T) -> T {
+        let mut e = self.engine.lock();
+        for pkt in self.mailbox.drain() {
+            e.deliver(pkt);
+        }
+        let out = f(&mut e);
+        self.route_actions(&mut e);
+        out
+    }
+
+    fn route_actions(&self, e: &mut AbEngine) {
+        for a in e.drain_actions() {
+            match a {
+                Action::Send(pkt) => self.fabric.send(pkt),
+                Action::EnableSignals => self.signals_enabled.store(true, Ordering::SeqCst),
+                Action::DisableSignals => self.signals_enabled.store(false, Ordering::SeqCst),
+            }
+        }
+    }
+}
+
+/// Statistics snapshot taken at rank shutdown.
+#[derive(Debug, Clone)]
+pub struct LiveRankStats {
+    /// Application-bypass counters.
+    pub ab: abr_core::AbStats,
+    /// Engine counters.
+    pub counters: Vec<(&'static str, u64)>,
+}
+
+/// The per-rank handle application closures program against.
+pub struct RankCtx {
+    rank: Rank,
+    size: u32,
+    shared: Arc<RankShared>,
+}
+
+impl RankCtx {
+    /// This rank.
+    pub fn rank(&self) -> Rank {
+        self.rank
+    }
+
+    /// World size.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The world communicator.
+    pub fn world(&self) -> Communicator {
+        Communicator::world(self.size)
+    }
+
+    fn block_on(&self, req: ReqId) -> Option<Outcome> {
+        // Honour the bounded-block hint (the §IV-E exit delay): poll inside
+        // the "call" until the budget expires, then split-phase exit.
+        let mut deadline: Option<Instant> = None;
+        loop {
+            let (done, hint) = self.shared.with_engine(|e| {
+                e.progress();
+                (e.test(req), e.bounded_block_hint(req))
+            });
+            if done {
+                return self.shared.with_engine(|e| e.take_outcome(req));
+            }
+            if let Some(budget) = hint {
+                let dl = *deadline
+                    .get_or_insert_with(|| Instant::now() + Duration::from_nanos(budget.as_nanos()));
+                if Instant::now() >= dl {
+                    return self.shared.with_engine(|e| {
+                        e.split_phase_exit(req);
+                        debug_assert!(e.test(req));
+                        e.take_outcome(req)
+                    });
+                }
+            }
+            self.shared.mailbox.wait_nonempty(Some(BLOCK_POLL));
+        }
+    }
+
+    /// Blocking reduction; the root gets `Some(result_bytes)`.
+    pub fn reduce(
+        &self,
+        root: Rank,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Result<Option<Bytes>, MprError> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.ireduce(&comm, root, op, dtype, data));
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(Some(d)),
+            Some(Outcome::Done) | None => Ok(None),
+            Some(Outcome::Failed(e)) => Err(e),
+        }
+    }
+
+    /// Split-phase reduction (extension): returns a handle immediately; the
+    /// reduction progresses via signals while this thread computes.
+    pub fn reduce_split(
+        &self,
+        root: Rank,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> SplitReduce<'_> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| AbEngine::ireduce_split(e, &comm, root, op, dtype, data));
+        SplitReduce { ctx: self, req }
+    }
+
+    /// Split-phase allreduce (§II extension): a bypassed reduce chained
+    /// into a bypassed broadcast; every rank's handle completes with the
+    /// reduced data, signal-driven.
+    pub fn allreduce_split(
+        &self,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> SplitReduce<'_> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.iallreduce_split(&comm, op, dtype, data));
+        SplitReduce { ctx: self, req }
+    }
+
+    /// Blocking allreduce; every rank gets the result.
+    pub fn allreduce(
+        &self,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Result<Bytes, MprError> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.iallreduce(&comm, op, dtype, data));
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(d),
+            Some(Outcome::Failed(e)) => Err(e),
+            other => panic!("allreduce completed without data: {other:?}"),
+        }
+    }
+
+    /// Split-phase application-bypass broadcast (ref. \[8\]): returns a
+    /// handle immediately; interior forwarding happens in the dispatcher's
+    /// signal path while this thread computes.
+    pub fn bcast_split(&self, root: Rank, data: Option<Bytes>, len: usize) -> SplitReduce<'_> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.ibcast_split(&comm, root, data, len));
+        SplitReduce { ctx: self, req }
+    }
+
+    /// Blocking broadcast from `root`.
+    pub fn bcast(&self, root: Rank, data: Option<Bytes>, len: usize) -> Result<Bytes, MprError> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.ibcast(&comm, root, data, len));
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(d),
+            Some(Outcome::Failed(e)) => Err(e),
+            other => panic!("bcast completed without data: {other:?}"),
+        }
+    }
+
+    /// Blocking gather to `root`; the root gets the rank-ordered
+    /// concatenation.
+    pub fn gather(&self, root: Rank, data: &[u8]) -> Result<Option<Bytes>, MprError> {
+        let comm = self.world();
+        let req = self.shared.with_engine(|e| {
+            abr_mpr::engine::Engine::igather(e.inner_mut(), &comm, root, data)
+        });
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(Some(d)),
+            Some(Outcome::Done) | None => Ok(None),
+            Some(Outcome::Failed(e)) => Err(e),
+        }
+    }
+
+    /// Blocking scatter from `root` (`data` is `size * block` bytes there);
+    /// every rank receives its own block.
+    pub fn scatter(
+        &self,
+        root: Rank,
+        data: Option<&[u8]>,
+        block: usize,
+    ) -> Result<Bytes, MprError> {
+        let comm = self.world();
+        let req = self.shared.with_engine(|e| {
+            abr_mpr::engine::Engine::iscatter(e.inner_mut(), &comm, root, data, block)
+        });
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(d),
+            Some(Outcome::Failed(e)) => Err(e),
+            other => panic!("scatter completed without data: {other:?}"),
+        }
+    }
+
+    /// Blocking allgather; every rank gets every block in rank order.
+    pub fn allgather(&self, data: &[u8]) -> Result<Bytes, MprError> {
+        let comm = self.world();
+        let req = self.shared.with_engine(|e| {
+            abr_mpr::engine::Engine::iallgather(e.inner_mut(), &comm, data)
+        });
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(d),
+            Some(Outcome::Failed(e)) => Err(e),
+            other => panic!("allgather completed without data: {other:?}"),
+        }
+    }
+
+    /// Blocking barrier.
+    pub fn barrier(&self) {
+        let comm = self.world();
+        let req = self.shared.with_engine(|e| e.ibarrier(&comm));
+        if let Some(Outcome::Failed(e)) = self.block_on(req) { panic!("barrier failed: {e}") }
+    }
+
+    /// Blocking send.
+    pub fn send(&self, dst: Rank, tag: i32, data: Bytes) -> Result<(), MprError> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.isend(&comm, dst, tag, data));
+        match self.block_on(req) {
+            Some(Outcome::Failed(e)) => Err(e),
+            _ => Ok(()),
+        }
+    }
+
+    /// Blocking receive.
+    pub fn recv(&self, src: Option<Rank>, tag: TagSel, cap: usize) -> Result<Bytes, MprError> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.irecv(&comm, src, tag, cap));
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(d),
+            Some(Outcome::Failed(e)) => Err(e),
+            other => panic!("recv completed without data: {other:?}"),
+        }
+    }
+
+    /// Snapshot the rank's statistics.
+    pub fn stats(&self) -> LiveRankStats {
+        self.shared.with_engine(|e| LiveRankStats {
+            ab: *e.ab_stats(),
+            counters: e.counters(),
+        })
+    }
+
+    /// Whether NIC signals are currently enabled for this rank.
+    pub fn signals_enabled(&self) -> bool {
+        self.shared.signals_enabled.load(Ordering::SeqCst)
+    }
+}
+
+/// Handle to an in-flight split-phase reduction.
+pub struct SplitReduce<'a> {
+    ctx: &'a RankCtx,
+    req: ReqId,
+}
+
+impl SplitReduce<'_> {
+    /// Non-blocking completion test — no engine progress is made, so a
+    /// `true` here under signal dispatch proves the bypass worked.
+    pub fn test(&self) -> bool {
+        self.ctx.shared.engine.lock().test(self.req)
+    }
+
+    /// Wait for completion; the root gets `Some(result)`.
+    pub fn wait(self) -> Result<Option<Bytes>, MprError> {
+        match self.ctx.block_on(self.req) {
+            Some(Outcome::Data(d)) => Ok(Some(d)),
+            Some(Outcome::Done) | None => Ok(None),
+            Some(Outcome::Failed(e)) => Err(e),
+        }
+    }
+}
+
+fn dispatcher_loop(shared: Arc<RankShared>) {
+    loop {
+        // The dispatcher serves until the whole run is over (fabric
+        // closed): a rank's application thread may return while its own
+        // reduction is still in flight — that is the entire point of
+        // application bypass — and only this thread can finish it then.
+        if shared.mailbox.is_closed() {
+            if shared.signals_enabled.load(Ordering::SeqCst) && !shared.mailbox.is_empty() {
+                if let Some(mut e) = shared.engine.try_lock() {
+                    for pkt in shared.mailbox.drain() {
+                        e.deliver(pkt);
+                    }
+                    e.handle_signal();
+                    shared.route_actions(&mut e);
+                }
+            }
+            return;
+        }
+        if !shared.mailbox.wait_nonempty(Some(DISPATCH_IDLE)) {
+            continue;
+        }
+        if !shared.signals_enabled.load(Ordering::SeqCst) {
+            // Signals disabled at the NIC: packets wait for the application
+            // to trigger progress. Idle briefly to avoid spinning.
+            std::thread::sleep(DISPATCH_IDLE);
+            continue;
+        }
+        // Only collective packets generate signals.
+        let has_collective = {
+            // Peek cheaply: drain would steal packets from the app thread's
+            // own drain, which is fine — both paths deliver to the engine
+            // under the lock.
+            !shared.mailbox.is_empty()
+        };
+        if !has_collective {
+            continue;
+        }
+        // Signal fires: try to enter the progress engine. A held lock means
+        // progress is already underway — the signal is simply ignored.
+        if let Some(mut e) = shared.engine.try_lock() {
+            let mut any_collective = false;
+            for pkt in shared.mailbox.drain() {
+                any_collective |= pkt.header.kind == PacketKind::Collective;
+                e.deliver(pkt);
+            }
+            if any_collective {
+                e.handle_signal();
+            } else {
+                // Nothing signal-worthy after all; leave the packets for
+                // the next progress pass without charging handler work.
+            }
+            shared.route_actions(&mut e);
+        } else {
+            std::thread::sleep(Duration::from_micros(20));
+        }
+    }
+}
+
+/// Run `f` on `n` ranks over the live runtime; returns each rank's result
+/// in rank order. `ab` selects bypass or baseline engines (the cost model
+/// still *accounts* charges, but wall-clock time is what the threads
+/// actually experience).
+pub fn run_live<R: Send>(
+    spec: &ClusterSpec,
+    ab: AbConfig,
+    f: impl Fn(&RankCtx) -> R + Send + Sync,
+) -> Vec<R> {
+    let n = spec.len() as u32;
+    let fabric = Arc::new(LiveFabric::new(n as usize));
+    let shareds: Vec<Arc<RankShared>> = (0..n)
+        .map(|r| {
+            let config = EngineConfig {
+                cost: spec.cost.clone(),
+                eager_limit: spec.eager_limit,
+                memory_budget: None,
+                allreduce_rs_threshold: 2048,
+            };
+            Arc::new(RankShared {
+                engine: Mutex::new(AbEngine::new(r, n, config, ab.clone())),
+                mailbox: fabric.mailbox(NodeId(r)),
+                fabric: Arc::clone(&fabric),
+                signals_enabled: AtomicBool::new(false),
+            })
+        })
+        .collect();
+    let finished = AtomicUsize::new(0);
+    let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    std::thread::scope(|s| {
+        // Dispatcher threads (the NIC/kernel signal path).
+        for shared in &shareds {
+            let shared = Arc::clone(shared);
+            s.spawn(move || dispatcher_loop(shared));
+        }
+        // Application threads.
+        for (r, slot) in results.iter_mut().enumerate() {
+            let shared = Arc::clone(&shareds[r]);
+            let fabric = Arc::clone(&fabric);
+            let f = &f;
+            let finished = &finished;
+            s.spawn(move || {
+                let ctx = RankCtx {
+                    rank: r as u32,
+                    size: n,
+                    shared: Arc::clone(&shared),
+                };
+                let out = f(&ctx);
+                let _ = &shared;
+                if finished.fetch_add(1, Ordering::SeqCst) + 1 == n as usize {
+                    // Last rank out closes every mailbox so dispatchers and
+                    // any stragglers wake and exit.
+                    fabric.close_all();
+                }
+                *slot = Some(out);
+            });
+        }
+    });
+    results.into_iter().map(|r| r.unwrap()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes};
+
+    fn spec(n: u32) -> ClusterSpec {
+        ClusterSpec::homogeneous_1000(n)
+    }
+
+    #[test]
+    fn live_reduce_sums_across_threads() {
+        let results = run_live(&spec(8), AbConfig::default(), |ctx| {
+            let data = f64s_to_bytes(&[ctx.rank() as f64, 1.0]);
+            ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data).unwrap()
+        });
+        let root = results[0].as_ref().expect("root gets the result");
+        assert_eq!(bytes_to_f64s(root), vec![28.0, 8.0]);
+        for r in &results[1..] {
+            assert!(r.is_none());
+        }
+    }
+
+    #[test]
+    fn live_baseline_matches_bypass_result() {
+        for ab in [AbConfig::disabled(), AbConfig::default()] {
+            let results = run_live(&spec(5), ab, |ctx| {
+                let data = f64s_to_bytes(&[(ctx.rank() + 1) as f64]);
+                ctx.reduce(2, ReduceOp::Prod, Datatype::F64, &data).unwrap()
+            });
+            assert_eq!(bytes_to_f64s(results[2].as_ref().unwrap()), vec![120.0]);
+        }
+    }
+
+    #[test]
+    fn live_allreduce_and_barrier() {
+        let results = run_live(&spec(6), AbConfig::default(), |ctx| {
+            ctx.barrier();
+            let data = f64s_to_bytes(&[1.0]);
+            let out = ctx.allreduce(ReduceOp::Sum, Datatype::F64, &data).unwrap();
+            ctx.barrier();
+            bytes_to_f64s(&out)[0]
+        });
+        assert!(results.iter().all(|&x| x == 6.0));
+    }
+
+    #[test]
+    fn live_internal_node_returns_while_child_sleeps() {
+        // The headline behaviour, on real threads: rank 2 (internal) must
+        // return from reduce() long before late rank 3 even starts.
+        let results = run_live(&spec(4), AbConfig::default(), |ctx| {
+            if ctx.rank() == 3 {
+                std::thread::sleep(Duration::from_millis(150));
+            }
+            let data = f64s_to_bytes(&[ctx.rank() as f64]);
+            let before = Instant::now();
+            let out = ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data).unwrap();
+            let call = before.elapsed();
+            if ctx.rank() == 2 {
+                // "Other processing" — the window application bypass buys.
+                // The late child's message arrives in here and must be
+                // handled by the dispatcher's signal path.
+                std::thread::sleep(Duration::from_millis(400));
+            }
+            ctx.barrier();
+            (out, call, ctx.stats())
+        });
+        let (root_out, _, _) = &results[0];
+        assert_eq!(bytes_to_f64s(root_out.as_ref().unwrap()), vec![6.0]);
+        let (_, call2, stats2) = &results[2];
+        assert!(
+            *call2 < Duration::from_millis(100),
+            "internal node blocked for {call2:?} despite application bypass"
+        );
+        assert_eq!(stats2.ab.ab_reductions, 1);
+        assert_eq!(stats2.ab.delegated_to_async, 1, "{:?}", stats2.ab);
+        assert!(
+            stats2.ab.async_children >= 1 && stats2.ab.signals_handled >= 1,
+            "late child must be handled by the signal path: {:?}",
+            stats2.ab
+        );
+    }
+
+    #[test]
+    fn live_split_phase_root_overlaps_compute() {
+        let results = run_live(&spec(8), AbConfig::default(), |ctx| {
+            let data = f64s_to_bytes(&[ctx.rank() as f64]);
+            if ctx.rank() == 0 {
+                let split = ctx.reduce_split(0, ReduceOp::Sum, Datatype::F64, &data);
+                // "Compute" while the reduction completes via signals.
+                let mut spins = 0u64;
+                while !split.test() && spins < 5_000_000 {
+                    spins += 1;
+                    std::hint::spin_loop();
+                }
+                let out = split.wait().unwrap();
+                ctx.barrier();
+                out
+            } else {
+                std::thread::sleep(Duration::from_millis(5 * ctx.rank() as u64));
+                ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data).unwrap();
+                ctx.barrier();
+                None
+            }
+        });
+        let total: f64 = (0..8).map(|r| r as f64).sum();
+        assert_eq!(bytes_to_f64s(results[0].as_ref().unwrap()), vec![total]);
+    }
+
+    #[test]
+    fn live_split_allreduce_everywhere() {
+        let results = run_live(&spec(8), AbConfig::default(), |ctx| {
+            let data = f64s_to_bytes(&[ctx.rank() as f64]);
+            let h = ctx.allreduce_split(ReduceOp::Sum, Datatype::F64, &data);
+            // Overlap with "compute".
+            std::thread::sleep(Duration::from_millis(2 + ctx.rank() as u64));
+            let out = h.wait().unwrap().expect("allreduce yields data everywhere");
+            ctx.barrier();
+            bytes_to_f64s(&out)
+        });
+        let expect: f64 = (0..8).map(f64::from).sum();
+        for (r, vals) in results.iter().enumerate() {
+            assert_eq!(vals, &vec![expect], "rank {r}");
+        }
+    }
+
+    #[test]
+    fn live_split_bcast_overlaps_compute() {
+        let payload = Bytes::from(vec![0xAAu8; 32]);
+        let expect = payload.clone();
+        let results = run_live(&spec(8), AbConfig::default(), move |ctx| {
+            let data = (ctx.rank() == 0).then(|| payload.clone());
+            if ctx.rank() != 0 {
+                // Interior/leaf ranks post first, then go compute; the
+                // payload arrives via the dispatcher.
+                let h = ctx.bcast_split(0, data, 32);
+                std::thread::sleep(Duration::from_millis(10));
+                let out = h.wait().unwrap();
+                ctx.barrier();
+                out
+            } else {
+                std::thread::sleep(Duration::from_millis(30)); // late root
+                let h = ctx.bcast_split(0, data, 32);
+                let out = h.wait().unwrap();
+                ctx.barrier();
+                out
+            }
+        });
+        for (r, out) in results.iter().enumerate() {
+            assert_eq!(out.as_ref().unwrap(), &expect, "rank {r}");
+        }
+    }
+
+    #[test]
+    fn live_point_to_point() {
+        let results = run_live(&spec(2), AbConfig::default(), |ctx| {
+            if ctx.rank() == 0 {
+                ctx.send(1, 7, Bytes::from(vec![42u8; 16])).unwrap();
+                None
+            } else {
+                Some(ctx.recv(Some(0), TagSel::Is(7), 64).unwrap())
+            }
+        });
+        assert_eq!(results[1].as_ref().unwrap().as_ref(), &[42u8; 16]);
+    }
+
+    #[test]
+    fn live_back_to_back_reductions() {
+        let rounds = 10usize;
+        let results = run_live(&spec(4), AbConfig::default(), |ctx| {
+            let mut outs = Vec::new();
+            for k in 0..rounds {
+                let data = f64s_to_bytes(&[(ctx.rank() as f64) * (k + 1) as f64]);
+                let out = ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data).unwrap();
+                if let Some(d) = out {
+                    outs.push(bytes_to_f64s(&d)[0]);
+                }
+            }
+            ctx.barrier();
+            outs
+        });
+        let base: f64 = (0..4).map(|r| r as f64).sum();
+        let expect: Vec<f64> = (0..rounds).map(|k| base * (k + 1) as f64).collect();
+        assert_eq!(results[0], expect);
+    }
+}

@@ -1,0 +1,105 @@
+//! Plain-text table rendering for the figure harnesses.
+
+use std::fmt::Write as _;
+
+/// A simple fixed-width table with a title, printed in the style the bench
+/// targets use to regenerate the paper's figures.
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Start a table.
+    pub fn new(title: impl Into<String>, headers: &[&str]) -> Self {
+        Table {
+            title: title.into(),
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Append a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len(), "ragged table row");
+        self.rows.push(cells);
+    }
+
+    /// Render to a string.
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, c) in row.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "== {} ==", self.title);
+        let mut line = String::new();
+        for (h, w) in self.headers.iter().zip(&widths) {
+            let _ = write!(line, "{h:>w$}  ", w = w);
+        }
+        let _ = writeln!(out, "{}", line.trim_end());
+        let _ = writeln!(out, "{}", "-".repeat(line.trim_end().len()));
+        for row in &self.rows {
+            let mut line = String::new();
+            for (c, w) in row.iter().zip(&widths) {
+                let _ = write!(line, "{c:>w$}  ", w = w);
+            }
+            let _ = writeln!(out, "{}", line.trim_end());
+        }
+        out
+    }
+
+    /// Print to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+/// Format a float with two decimals.
+pub fn f2(x: f64) -> String {
+    format!("{x:.2}")
+}
+
+/// Format a ratio ("factor of improvement") with two decimals.
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}", num / den)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_table() {
+        let mut t = Table::new("Demo", &["skew", "nab", "ab", "factor"]);
+        t.row(vec!["0".into(), "12.10".into(), "9.00".into(), "1.34".into()]);
+        t.row(vec!["1000".into(), "101.55".into(), "20.01".into(), "5.07".into()]);
+        let s = t.render();
+        assert!(s.contains("== Demo =="));
+        assert!(s.contains("skew"));
+        assert!(s.contains("5.07"));
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "ragged")]
+    fn ragged_rows_rejected() {
+        let mut t = Table::new("x", &["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn ratio_handles_zero() {
+        assert_eq!(ratio(1.0, 0.0), "inf");
+        assert_eq!(ratio(5.0, 2.0), "2.50");
+        assert_eq!(f2(1.005), "1.00"); // banker's-ish rounding is fine
+    }
+}

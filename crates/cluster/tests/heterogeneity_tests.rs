@@ -1,0 +1,132 @@
+//! Heterogeneity fidelity: CPU classes scale protocol work, PCI classes
+//! scale transfers, and the §VI testbed's interlaced host list behaves as
+//! the paper describes ("nearly identical results" between the homogeneous
+//! halves at equal sizes).
+
+use abr_cluster::microbench::{run_cpu_util, run_latency, CpuUtilConfig, LatencyConfig, Mode};
+use abr_cluster::node::ClusterSpec;
+use abr_cluster::program::{Program, ScriptProgram, Step};
+use abr_cluster::DesDriver;
+use abr_mpr::engine::{Engine, EngineConfig};
+use abr_mpr::op::ReduceOp;
+use abr_mpr::types::{f64s_to_bytes, Datatype};
+
+fn reduce_programs(n: u32, elems: usize) -> Vec<Box<dyn Program>> {
+    (0..n)
+        .map(|r| {
+            Box::new(ScriptProgram::new(vec![
+                Step::Reduce {
+                    root: 0,
+                    op: ReduceOp::Sum,
+                    dtype: Datatype::F64,
+                    data: f64s_to_bytes(&vec![r as f64; elems]),
+                },
+                Step::Barrier,
+            ])) as Box<dyn Program>
+        })
+        .collect()
+}
+
+#[test]
+fn slower_cpus_charge_more_protocol_time() {
+    let run = |spec: ClusterSpec| {
+        let n = spec.len() as u32;
+        let mut d = DesDriver::new(
+            &spec,
+            |r, ec: EngineConfig| Engine::new(r, n, ec),
+            reduce_programs(n, 32),
+        );
+        d.run();
+        // Rank 1 is a leaf under root 0 in a 4-rank tree: pure send work.
+        d.results()[1].cpu_protocol_us
+    };
+    let fast = run(ClusterSpec::homogeneous_1000(4));
+    let slow = run(ClusterSpec::homogeneous_700(4));
+    let ratio = slow / fast;
+    assert!(
+        (1.3..1.6).contains(&ratio),
+        "700MHz/1GHz protocol-CPU ratio {ratio:.2}, expected ~1.43"
+    );
+}
+
+#[test]
+fn homogeneous_halves_agree_like_the_paper_says() {
+    // §VI: "we compared it to both of the groups of homogeneous machines
+    // separately for system sizes up to 16 nodes and observed nearly
+    // identical results."
+    let cfg = |spec| CpuUtilConfig {
+        iters: 60,
+        max_skew_us: 500,
+        ..CpuUtilConfig::new(spec, Mode::Baseline)
+    };
+    let hom7 = run_cpu_util(&cfg(ClusterSpec::homogeneous_700(16))).mean_cpu_us;
+    let hom10 = run_cpu_util(&cfg(ClusterSpec::homogeneous_1000(16))).mean_cpu_us;
+    let het = run_cpu_util(&cfg(ClusterSpec::heterogeneous(16))).mean_cpu_us;
+    // Under dominant skew the class differences wash out: within ~15%.
+    let spread = (hom7 - hom10).abs() / hom10;
+    assert!(spread < 0.15, "homogeneous halves diverge: {hom7:.1} vs {hom10:.1}");
+    assert!(
+        het > hom7.min(hom10) * 0.85 && het < hom7.max(hom10) * 1.15,
+        "heterogeneous mix {het:.1} outside the homogeneous band [{hom10:.1}, {hom7:.1}]"
+    );
+}
+
+#[test]
+fn narrow_pci_nodes_slow_large_message_latency() {
+    // The 1-GHz nodes' 33MHz/32-bit PCI hurts for kilobyte messages.
+    let lat = |spec| {
+        run_latency(&LatencyConfig {
+            elems: 128,
+            iters: 30,
+            ..LatencyConfig::new(spec, Mode::Baseline)
+        })
+        .mean_latency_us
+    };
+    let wide = lat(ClusterSpec::homogeneous_700(8)); // wide PCI, slow CPU
+    let narrow = lat(ClusterSpec::homogeneous_1000(8)); // narrow PCI, fast CPU
+    assert!(
+        narrow > wide,
+        "narrow-PCI cluster should lose on 1KB messages: {narrow:.1} vs {wide:.1}"
+    );
+}
+
+#[test]
+fn small_message_latency_favors_faster_cpus() {
+    // At 1 element the PCI term is negligible and host processing wins.
+    let lat = |spec| {
+        run_latency(&LatencyConfig {
+            elems: 1,
+            iters: 30,
+            ..LatencyConfig::new(spec, Mode::Baseline)
+        })
+        .mean_latency_us
+    };
+    let slow_cpu = lat(ClusterSpec::homogeneous_700(8));
+    let fast_cpu = lat(ClusterSpec::homogeneous_1000(8));
+    assert!(
+        fast_cpu < slow_cpu,
+        "fast-CPU cluster should win small messages: {fast_cpu:.1} vs {slow_cpu:.1}"
+    );
+}
+
+#[test]
+fn determinism_holds_across_heterogeneous_runs() {
+    let run = || {
+        let cfg = CpuUtilConfig {
+            iters: 30,
+            max_skew_us: 700,
+            ..CpuUtilConfig::new(
+                ClusterSpec::heterogeneous(12),
+                Mode::Bypass(abr_core::DelayPolicy::PerProcess { us_per_process: 1.0 }),
+            )
+        };
+        let r = run_cpu_util(&cfg);
+        (
+            format!("{:.9}", r.mean_cpu_us),
+            format!("{:.9}", r.p95_us),
+            r.signals,
+            r.signals_suppressed,
+        )
+    };
+    assert_eq!(run(), run());
+}

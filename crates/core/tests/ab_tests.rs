@@ -1,0 +1,395 @@
+//! Behavioural tests for application-bypass reduction over the loopback
+//! harness: correctness, skew tolerance, signal economy and copy accounting.
+
+use abr_core::{AbConfig, AbEngine, DelayPolicy};
+use abr_mpr::engine::{EngineConfig, MessageEngine};
+use abr_mpr::request::Outcome;
+use abr_mpr::testutil::Loopback;
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};
+use abr_mpr::ReduceOp;
+
+fn ab_world(n: u32, config: AbConfig) -> Loopback<AbEngine> {
+    let engines = (0..n)
+        .map(|r| AbEngine::new(r, n, EngineConfig::default(), config.clone()))
+        .collect();
+    let mut lb = Loopback::new(engines);
+    lb.signal_dispatch = true;
+    lb
+}
+
+/// Post a reduce and, like the drivers do, immediately expire the bounded
+/// block (delay policy `None`) so the call "returns".
+fn reduce_call(
+    lb: &mut Loopback<AbEngine>,
+    rank: usize,
+    root: u32,
+    data: &[f64],
+) -> abr_mpr::ReqId {
+    let comm = lb.engines[rank].world();
+    let req = lb.engines[rank].ireduce(&comm, root, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(data));
+    if !lb.engines[rank].test(req) && lb.engines[rank].bounded_block_hint(req).is_some() {
+        lb.engines[rank].split_phase_exit(req);
+    }
+    req
+}
+
+fn check_sum_reduce(n: u32, root: u32, post_order: &[usize]) {
+    let mut lb = ab_world(n, AbConfig::default());
+    let mut reqs = vec![None; n as usize];
+    for &r in post_order {
+        reqs[r] = Some(reduce_call(&mut lb, r, root, &[r as f64, 1.0]));
+        // Let traffic flow between postings: maximal skew realism.
+        lb.route_once();
+    }
+    let reqs: Vec<_> = reqs
+        .into_iter()
+        .enumerate()
+        .map(|(r, q)| (r, q.unwrap()))
+        .collect();
+    lb.run_until_complete(&reqs, 4000);
+    let expect: f64 = (0..n).map(|r| r as f64).sum();
+    for (r, id) in reqs {
+        match lb.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => {
+                assert_eq!(r as u32, root);
+                assert_eq!(bytes_to_f64s(&d), vec![expect, n as f64]);
+            }
+            Some(Outcome::Done) => assert_ne!(r as u32, root),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn ab_reduce_matches_expected_sum_in_order() {
+    for n in [2u32, 3, 4, 5, 8, 13, 16, 32] {
+        let order: Vec<usize> = (0..n as usize).collect();
+        check_sum_reduce(n, 0, &order);
+    }
+}
+
+#[test]
+fn ab_reduce_reverse_posting_order() {
+    for n in [4u32, 8, 16] {
+        let order: Vec<usize> = (0..n as usize).rev().collect();
+        check_sum_reduce(n, 0, &order);
+    }
+}
+
+#[test]
+fn ab_reduce_nonzero_roots() {
+    for root in [1u32, 3, 7] {
+        let order: Vec<usize> = (0..8).collect();
+        check_sum_reduce(8, root, &order);
+    }
+}
+
+#[test]
+fn internal_node_call_returns_before_late_children() {
+    // The paper's Fig. 2 scenario: node 2 (internal, 4-node tree rooted at
+    // 0) must not wait for late node 3.
+    let mut lb = ab_world(4, AbConfig::default());
+    // Nodes 0 (root), 1 (leaf), 2 (internal) arrive; node 3 is late.
+    let r0 = reduce_call(&mut lb, 0, 0, &[0.0]);
+    let r1 = reduce_call(&mut lb, 1, 0, &[1.0]);
+    let r2 = reduce_call(&mut lb, 2, 0, &[2.0]);
+    // Drive everything that can move without node 3.
+    for _ in 0..20 {
+        lb.route_once();
+        for r in [0usize, 1, 2] {
+            lb.engines[r].progress();
+        }
+    }
+    // Node 2's *call* has returned (application bypass!) even though its
+    // child 3 never showed up; the root is of course still blocked.
+    assert!(lb.engines[2].test(r2), "internal node must not block on a late child");
+    assert!(lb.engines[1].test(r1), "leaf completes by sending");
+    assert!(!lb.engines[0].test(r0), "root cannot complete without the subtree");
+    assert_eq!(lb.engines[2].descriptor_queue().len(), 1);
+    assert!(lb.engines[2].signals_enabled(), "outstanding reduction needs signals");
+    // Now the late node arrives. Its message to node 2 must be handled by a
+    // *signal*, with no application progress at node 2 at all.
+    let r3 = reduce_call(&mut lb, 3, 0, &[3.0]);
+    for _ in 0..20 {
+        lb.route_once(); // dispatches signals
+        lb.engines[0].progress(); // only the blocked root polls
+        lb.engines[3].progress();
+    }
+    assert!(lb.engines[3].test(r3));
+    match lb.engines[0].take_outcome(r0) {
+        Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![6.0]),
+        other => panic!("root outcome {other:?}"),
+    }
+    let s = lb.engines[2].ab_stats();
+    assert_eq!(s.async_children, 1, "the late child was processed asynchronously");
+    assert!(s.signals_handled >= 1);
+    assert!(lb.engines[2].descriptor_queue().is_empty());
+    assert!(!lb.engines[2].signals_enabled(), "signals disabled once drained");
+}
+
+#[test]
+fn early_messages_park_once_and_are_swept_by_the_call() {
+    // Child posts long before the parent calls reduce: parent must find the
+    // contribution on the AB unexpected queue during the synchronous phase.
+    let mut lb = ab_world(4, AbConfig::default());
+    let r3 = reduce_call(&mut lb, 3, 0, &[3.0]);
+    let r1 = reduce_call(&mut lb, 1, 0, &[1.0]);
+    for _ in 0..10 {
+        lb.route_once();
+        // Node 2 makes an unrelated MPICH library call, which triggers the
+        // progress engine (Fig. 4 left entry): node 3's collective packet is
+        // pre-processed, matches no descriptor, and is parked on the AB
+        // unexpected queue with a single copy.
+        lb.engines[2].progress();
+    }
+    assert!(!lb.engines[2].signals_enabled());
+    assert_eq!(lb.engines[2].ab_unexpected_queue().len(), 1);
+    let r2 = reduce_call(&mut lb, 2, 0, &[2.0]);
+    let r0 = reduce_call(&mut lb, 0, 0, &[0.0]);
+    lb.run_until_complete(&[(0, r0), (1, r1), (2, r2), (3, r3)], 2000);
+    match lb.engines[0].take_outcome(r0) {
+        Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![6.0]),
+        other => panic!("{other:?}"),
+    }
+    let s = lb.engines[2].ab_stats();
+    assert_eq!(s.ab_unexpected_parked, 1, "node 3's early message parked once");
+    assert!(s.sync_children >= 1, "swept during the synchronous phase");
+}
+
+#[test]
+fn consistently_late_child_across_back_to_back_reductions() {
+    // §IV-D: several reductions outstanding toward the same late child;
+    // each arriving message must match the *oldest* matching descriptor.
+    let n = 8u32;
+    let rounds = 4;
+    let mut lb = ab_world(n, AbConfig::default());
+    let mut all = Vec::new();
+    let mut root_reqs = Vec::new();
+    // Every rank but 5 (a leaf under 4's subtree... rank 5 is a child of 4)
+    // posts `rounds` reduces back to back. Rank 5 posts nothing yet.
+    for k in 0..rounds {
+        for r in 0..n as usize {
+            if r == 5 {
+                continue;
+            }
+            let req = reduce_call(&mut lb, r, 0, &[(r as f64) * (k + 1) as f64]);
+            if r == 0 {
+                root_reqs.push(req);
+            }
+            all.push((r, req));
+        }
+        for _ in 0..5 {
+            lb.route_once();
+            for r in 0..n as usize {
+                if r != 5 && r != 0 {
+                    // Non-blocked ranks get occasional app-level progress.
+                    lb.engines[r].progress();
+                }
+            }
+        }
+    }
+    // Rank 4 (internal, parent of 5) should have descriptors piling up.
+    assert_eq!(lb.engines[4].descriptor_queue().len(), rounds as usize);
+    assert_eq!(lb.engines[4].descriptor_queue().high_water(), rounds as usize);
+    // The late rank now posts its backlog.
+    for k in 0..rounds {
+        let req = reduce_call(&mut lb, 5, 0, &[5.0 * (k + 1) as f64]);
+        all.push((5, req));
+    }
+    lb.run_until_complete(&all, 4000);
+    let base: f64 = (0..n).map(|r| r as f64).sum();
+    for (k, req) in root_reqs.into_iter().enumerate() {
+        match lb.engines[0].take_outcome(req) {
+            Some(Outcome::Data(d)) => {
+                assert_eq!(bytes_to_f64s(&d), vec![base * (k + 1) as f64], "round {k}");
+            }
+            other => panic!("round {k}: {other:?}"),
+        }
+    }
+    assert!(lb.engines[4].descriptor_queue().is_empty());
+}
+
+#[test]
+fn fallback_decisions_are_recorded() {
+    let mut lb = ab_world(8, AbConfig::default());
+    let reqs: Vec<_> = (0..8usize)
+        .map(|r| (r, reduce_call(&mut lb, r, 0, &[1.0; 4])))
+        .collect();
+    lb.run_until_complete(&reqs, 2000);
+    // Tree rooted at 0, size 8: root = 0; leaves = 1,3,5,7; internal = 2,4,6.
+    assert_eq!(lb.engines[0].ab_stats().fallback_root, 1);
+    for leaf in [1usize, 3, 5, 7] {
+        assert_eq!(lb.engines[leaf].ab_stats().fallback_leaf, 1, "rank {leaf}");
+        assert_eq!(lb.engines[leaf].ab_stats().ab_reductions, 0);
+    }
+    for internal in [2usize, 4, 6] {
+        assert_eq!(lb.engines[internal].ab_stats().ab_reductions, 1, "rank {internal}");
+    }
+}
+
+#[test]
+fn oversized_messages_fall_back_everywhere() {
+    let n = 8u32;
+    let elems = 4096; // 32 KiB > eager limit
+    let mut lb = ab_world(n, AbConfig::default());
+    let comm = lb.engines[0].world();
+    let reqs: Vec<_> = (0..n as usize)
+        .map(|r| {
+            let req = lb.engines[r].ireduce(
+                &comm,
+                0,
+                ReduceOp::Sum,
+                Datatype::F64,
+                &f64s_to_bytes(&vec![1.0; elems]),
+            );
+            (r, req)
+        })
+        .collect();
+    lb.run_until_complete(&reqs, 10_000);
+    match lb.engines[0].take_outcome(reqs[0].1) {
+        Some(Outcome::Data(d)) => {
+            assert!(bytes_to_f64s(&d).iter().all(|&x| x == n as f64));
+        }
+        other => panic!("{other:?}"),
+    }
+    for internal in [2usize, 4, 6] {
+        let s = lb.engines[internal].ab_stats();
+        assert_eq!(s.fallback_large, 1, "rank {internal}");
+        assert_eq!(s.ab_reductions, 0);
+    }
+    for e in &lb.engines {
+        assert!(e.inner().memory().is_balanced());
+    }
+}
+
+#[test]
+fn disabled_config_is_pure_baseline() {
+    let mut lb = ab_world(8, AbConfig::disabled());
+    let reqs: Vec<_> = (0..8usize)
+        .map(|r| (r, reduce_call(&mut lb, r, 0, &[r as f64])))
+        .collect();
+    lb.run_until_complete(&reqs, 2000);
+    assert_eq!(lb.signals_fired, 0, "baseline must never signal");
+    for e in &lb.engines {
+        let s = e.ab_stats();
+        assert_eq!(s.ab_reductions, 0);
+        assert_eq!(s.zero_copy_children, 0);
+        assert!(e.descriptor_queue().is_empty());
+    }
+    match lb.engines[0].take_outcome(reqs[0].1) {
+        Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![28.0]),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn copy_savings_are_visible_in_stats() {
+    let mut lb = ab_world(8, AbConfig::default());
+    let reqs: Vec<_> = (0..8usize)
+        .map(|r| (r, reduce_call(&mut lb, r, 0, &[r as f64; 32])))
+        .collect();
+    lb.run_until_complete(&reqs, 2000);
+    let total_saved: u64 = lb.engines.iter().map(|e| e.ab_stats().copies_saved()).sum();
+    let total_zero_copy: u64 = lb
+        .engines
+        .iter()
+        .map(|e| e.ab_stats().zero_copy_children)
+        .sum();
+    // Internal nodes 2, 4, 6 have 1 + 2 + 1 = 4 children between them; each
+    // child processed through bypass saves at least one copy.
+    assert_eq!(total_zero_copy + lb.engines.iter().map(|e| e.ab_stats().ab_unexpected_parked).sum::<u64>(), 4);
+    assert!(total_saved >= 4);
+}
+
+#[test]
+fn split_phase_root_completes_via_signals_only() {
+    let n = 8u32;
+    let mut lb = ab_world(n, AbConfig::default());
+    let comm = lb.engines[0].world();
+    // Root posts the split-phase reduce FIRST, then goes off to "compute":
+    // we never call progress() on it again.
+    let r0 = lb.engines[0].ireduce_split(&comm, 0, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(&[0.0]));
+    assert!(!lb.engines[0].test(r0));
+    assert!(lb.engines[0].signals_enabled(), "split root arms signals immediately");
+    let mut others = Vec::new();
+    for r in 1..n as usize {
+        others.push((r, reduce_call(&mut lb, r, 0, &[r as f64])));
+    }
+    // Drive only routing (signals) and the other ranks.
+    for _ in 0..200 {
+        lb.route_once();
+        for &(r, _) in &others {
+            lb.engines[r].progress();
+        }
+        if lb.engines[0].test(r0) {
+            break;
+        }
+    }
+    match lb.engines[0].take_outcome(r0) {
+        Some(Outcome::Data(d)) => {
+            let expect: f64 = (0..n).map(|r| r as f64).sum();
+            assert_eq!(bytes_to_f64s(&d), vec![expect]);
+        }
+        other => panic!("split root outcome: {other:?}"),
+    }
+    assert!(lb.engines[0].ab_stats().signals_handled > 0);
+    assert!(!lb.engines[0].signals_enabled());
+}
+
+#[test]
+fn delay_policy_reports_bounded_block_budget() {
+    let mut lb = ab_world(
+        8,
+        AbConfig {
+            enabled: true,
+            delay: DelayPolicy::PerProcess { us_per_process: 2.0 },
+            nic_offload: false,
+        },
+    );
+    let comm = lb.engines[2].world();
+    // Internal node 2 with no children arrived: hint = 16us for 8 procs.
+    let req = lb.engines[2].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(&[1.0]));
+    assert!(!lb.engines[2].test(req));
+    let hint = lb.engines[2].bounded_block_hint(req);
+    assert_eq!(hint, Some(abr_des::SimDuration::from_us(16)));
+    assert_eq!(lb.engines[2].ab_stats().exit_delays, 1);
+    lb.engines[2].split_phase_exit(req);
+    assert!(lb.engines[2].test(req));
+    assert!(lb.engines[2].signals_enabled());
+}
+
+#[test]
+fn ab_and_baseline_agree_on_results() {
+    for n in [2u32, 5, 8, 16] {
+        let run = |ab: bool| -> Vec<f64> {
+            let cfg = if ab { AbConfig::default() } else { AbConfig::disabled() };
+            let mut lb = ab_world(n, cfg);
+            let reqs: Vec<_> = (0..n as usize)
+                .rev()
+                .map(|r| (r, reduce_call(&mut lb, r, 1 % n, &[r as f64 + 0.5, -(r as f64)])))
+                .collect();
+            lb.run_until_complete(&reqs, 4000);
+            let root = (1 % n) as usize;
+            let (_, root_req) = *reqs.iter().find(|&&(r, _)| r == root).unwrap();
+            match lb.engines[root].take_outcome(root_req) {
+                Some(Outcome::Data(d)) => bytes_to_f64s(&d),
+                other => panic!("{other:?}"),
+            }
+        };
+        assert_eq!(run(true), run(false), "n={n}");
+    }
+}
+
+#[test]
+fn signals_disabled_at_rest() {
+    let mut lb = ab_world(4, AbConfig::default());
+    let reqs: Vec<_> = (0..4usize)
+        .map(|r| (r, reduce_call(&mut lb, r, 0, &[1.0])))
+        .collect();
+    lb.run_until_complete(&reqs, 1000);
+    for e in &lb.engines {
+        assert!(!e.signals_enabled(), "rank {}: signals left on", e.rank());
+        assert!(e.descriptor_queue().is_empty());
+        assert!(e.ab_unexpected_queue().is_empty());
+    }
+}

@@ -1,0 +1,171 @@
+//! Tests for the split-phase allreduce (§II extension): a bypassed reduce
+//! chained into a bypassed broadcast, completing at every rank with the
+//! reduced data, driven by signals alone once posted.
+
+use abr_core::{AbConfig, AbEngine};
+use abr_mpr::engine::{EngineConfig, MessageEngine};
+use abr_mpr::request::Outcome;
+use abr_mpr::testutil::Loopback;
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};
+use abr_mpr::ReduceOp;
+
+fn ab_world(n: u32) -> Loopback<AbEngine> {
+    let engines = (0..n)
+        .map(|r| AbEngine::new(r, n, EngineConfig::default(), AbConfig::default()))
+        .collect();
+    let mut lb = Loopback::new(engines);
+    lb.signal_dispatch = true;
+    lb
+}
+
+fn post(lb: &mut Loopback<AbEngine>, rank: usize, vals: &[f64]) -> abr_mpr::ReqId {
+    let comm = lb.engines[rank].world();
+    lb.engines[rank].iallreduce_split(&comm, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(vals))
+}
+
+#[test]
+fn split_allreduce_gives_everyone_the_sum() {
+    for n in [2u32, 3, 4, 8, 12, 16] {
+        let mut lb = ab_world(n);
+        let reqs: Vec<_> = (0..n as usize)
+            .map(|r| (r, post(&mut lb, r, &[r as f64, 1.0])))
+            .collect();
+        lb.run_until_complete(&reqs, 10_000);
+        let expect0: f64 = (0..n).map(f64::from).sum();
+        for (r, id) in reqs {
+            match lb.engines[r].take_outcome(id) {
+                Some(Outcome::Data(d)) => {
+                    assert_eq!(bytes_to_f64s(&d), vec![expect0, n as f64], "n={n} rank={r}")
+                }
+                other => panic!("n={n} rank={r}: {other:?}"),
+            }
+        }
+        for e in &lb.engines {
+            assert!(e.descriptor_queue().is_empty());
+            assert!(e.bcast_wait_queue().is_empty());
+            assert!(!e.signals_enabled());
+        }
+    }
+}
+
+#[test]
+fn split_allreduce_completes_without_explicit_polling() {
+    // Post everywhere, then drive ONLY the network (signal dispatch): the
+    // chains must advance through signal handlers at every rank.
+    let n = 8u32;
+    let mut lb = ab_world(n);
+    let reqs: Vec<_> = (0..n as usize)
+        .map(|r| (r, post(&mut lb, r, &[1.0])))
+        .collect();
+    for _ in 0..200 {
+        lb.route_once();
+        if reqs.iter().all(|&(r, id)| lb.engines[r].test(id)) {
+            break;
+        }
+    }
+    for (r, id) in reqs {
+        match lb.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![n as f64], "rank {r}"),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+    let total_signals: u64 = lb.engines.iter().map(|e| e.ab_stats().signals_handled).sum();
+    assert!(total_signals > 0, "the chain must have advanced via signals");
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // rank used as value and index
+fn back_to_back_split_allreduces_keep_instance_order() {
+    let n = 8u32;
+    let rounds = 4usize;
+    let mut lb = ab_world(n);
+    let mut per_rank: Vec<Vec<abr_mpr::ReqId>> = vec![Vec::new(); n as usize];
+    let mut all = Vec::new();
+    for k in 0..rounds {
+        for r in 0..n as usize {
+            let id = post(&mut lb, r, &[(k + 1) as f64]);
+            per_rank[r].push(id);
+            all.push((r, id));
+        }
+        lb.route_once();
+    }
+    lb.run_until_complete(&all, 20_000);
+    for (r, ids) in per_rank.into_iter().enumerate() {
+        for (k, id) in ids.into_iter().enumerate() {
+            match lb.engines[r].take_outcome(id) {
+                Some(Outcome::Data(d)) => assert_eq!(
+                    bytes_to_f64s(&d),
+                    vec![(k + 1) as f64 * n as f64],
+                    "rank {r} round {k}"
+                ),
+                other => panic!("rank {r} round {k}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn split_allreduce_matches_blocking_allreduce() {
+    let n = 6u32;
+    // Blocking reference.
+    let mut lb = ab_world(n);
+    let comm = lb.engines[0].world();
+    let blocking: Vec<_> = (0..n as usize)
+        .map(|r| {
+            let data = f64s_to_bytes(&[r as f64 * 1.5, -2.0]);
+            (r, lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &data))
+        })
+        .collect();
+    lb.run_until_complete(&blocking, 10_000);
+    let reference = bytes_to_f64s(&lb.expect_data(0, blocking[0].1));
+    // Split version.
+    let mut lb2 = ab_world(n);
+    let split: Vec<_> = (0..n as usize)
+        .map(|r| (r, post(&mut lb2, r, &[r as f64 * 1.5, -2.0])))
+        .collect();
+    lb2.run_until_complete(&split, 10_000);
+    for (r, id) in split {
+        match lb2.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), reference, "rank {r}"),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn split_allreduce_interleaves_with_other_collectives() {
+    let n = 8u32;
+    let mut lb = ab_world(n);
+    let comm = lb.engines[0].world();
+    let mut all = Vec::new();
+    let mut allred = Vec::new();
+    let mut red = Vec::new();
+    for r in 0..n as usize {
+        let a = post(&mut lb, r, &[2.0]);
+        allred.push((r, a));
+        all.push((r, a));
+        // A plain bypassed reduce in between.
+        let q = lb.engines[r].ireduce(&comm, 0, ReduceOp::Max, Datatype::F64, &f64s_to_bytes(&[r as f64]));
+        if !lb.engines[r].test(q) && lb.engines[r].bounded_block_hint(q).is_some() {
+            lb.engines[r].split_phase_exit(q);
+        }
+        if r == 0 {
+            red.push((r, q));
+        }
+        all.push((r, q));
+        // And a barrier.
+        let b = lb.engines[r].ibarrier(&comm);
+        all.push((r, b));
+    }
+    lb.run_until_complete(&all, 20_000);
+    for (r, id) in allred {
+        match lb.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![2.0 * n as f64], "rank {r}"),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+    match lb.engines[0].take_outcome(red[0].1) {
+        Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![(n - 1) as f64]),
+        other => panic!("{other:?}"),
+    }
+}

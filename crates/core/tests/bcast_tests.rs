@@ -1,0 +1,216 @@
+//! Tests for application-bypass broadcast (the ref. \[8\] companion system):
+//! the call never blocks on an absent ancestor, forwarding cascades through
+//! signal handlers, and results match the blocking broadcast.
+
+use abr_core::{AbConfig, AbEngine};
+use abr_mpr::engine::{EngineConfig, MessageEngine};
+use abr_mpr::request::Outcome;
+use abr_mpr::testutil::Loopback;
+use abr_mpr::types::f64s_to_bytes;
+use bytes::Bytes;
+
+fn ab_world(n: u32) -> Loopback<AbEngine> {
+    let engines = (0..n)
+        .map(|r| AbEngine::new(r, n, EngineConfig::default(), AbConfig::default()))
+        .collect();
+    let mut lb = Loopback::new(engines);
+    lb.signal_dispatch = true;
+    lb
+}
+
+fn post_bcast(lb: &mut Loopback<AbEngine>, rank: usize, root: u32, payload: &Bytes) -> abr_mpr::ReqId {
+    let comm = lb.engines[rank].world();
+    let data = (rank as u32 == root).then(|| payload.clone());
+    lb.engines[rank].ibcast_split(&comm, root, data, payload.len())
+}
+
+#[test]
+fn split_bcast_delivers_to_everyone() {
+    for n in [2u32, 3, 4, 8, 13, 16] {
+        for root in [0u32, n - 1] {
+            let mut lb = ab_world(n);
+            let payload = Bytes::from(f64s_to_bytes(&[3.5, -1.25, 42.0]));
+            let reqs: Vec<_> = (0..n as usize)
+                .map(|r| (r, post_bcast(&mut lb, r, root, &payload)))
+                .collect();
+            lb.run_until_complete(&reqs, 6000);
+            for (r, id) in reqs {
+                match lb.engines[r].take_outcome(id) {
+                    Some(Outcome::Data(d)) => assert_eq!(d, payload, "n={n} root={root} rank={r}"),
+                    other => panic!("n={n} root={root} rank={r}: {other:?}"),
+                }
+            }
+            for e in &lb.engines {
+                assert!(e.bcast_wait_queue().is_empty());
+                assert!(!e.signals_enabled());
+            }
+        }
+    }
+}
+
+#[test]
+fn interior_node_posts_before_root_and_completes_via_signal() {
+    // The skew scenario bypass broadcast exists for: a subtree is ready
+    // long before the root even starts. Nobody below the root may block.
+    let n = 8u32;
+    let mut lb = ab_world(n);
+    let payload = Bytes::from(vec![7u8; 64]);
+    // Every non-root posts first; the calls return immediately with waits
+    // registered and signals armed.
+    let mut reqs: Vec<_> = (1..n as usize)
+        .map(|r| (r, post_bcast(&mut lb, r, 0, &payload)))
+        .collect();
+    lb.run_to_quiescence(100);
+    for &(r, id) in &reqs {
+        assert!(
+            !lb.engines[r].test(id),
+            "rank {r} cannot have data before the root sends"
+        );
+    }
+    for r in 1..n as usize {
+        if !abr_mpr::tree::is_leaf(r as u32, 0, n) || !abr_mpr::tree::children(r as u32, 0, n).is_empty() {
+            // every non-root registered exactly one wait
+            assert_eq!(lb.engines[r].bcast_wait_queue().len(), 1, "rank {r}");
+        }
+        assert!(lb.engines[r].signals_enabled(), "rank {r} must arm signals");
+    }
+    // The root finally shows up. From here on, nothing but routing (which
+    // dispatches signals) happens — no rank ever calls progress again.
+    let root_req = post_bcast(&mut lb, 0, 0, &payload);
+    reqs.push((0, root_req));
+    for _ in 0..50 {
+        lb.route_once();
+        if reqs.iter().all(|&(r, id)| lb.engines[r].test(id)) {
+            break;
+        }
+    }
+    for (r, id) in reqs {
+        match lb.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => assert_eq!(d, payload, "rank {r}"),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+    let async_bcasts: u64 = lb.engines.iter().map(|e| e.ab_stats().async_bcasts).sum();
+    assert!(
+        async_bcasts >= 3,
+        "interior forwarding must run in signal handlers, got {async_bcasts}"
+    );
+}
+
+#[test]
+fn early_broadcast_data_parks_and_is_swept_by_the_call() {
+    // Root broadcasts before a child has even posted: the payload parks on
+    // the AB unexpected queue (one copy) and the later ibcast_split call
+    // completes instantly from it.
+    let n = 4u32;
+    let mut lb = ab_world(n);
+    let payload = Bytes::from(vec![9u8; 16]);
+    let r0 = post_bcast(&mut lb, 0, 0, &payload);
+    lb.run_to_quiescence(50);
+    // Rank 1's data arrived early; rank 1 triggers progress via an
+    // unrelated library call, parking it.
+    lb.engines[1].progress();
+    assert_eq!(lb.engines[1].ab_unexpected_queue().len(), 1);
+    let r1 = post_bcast(&mut lb, 1, 0, &payload);
+    assert!(lb.engines[1].test(r1), "parked data completes the call at post");
+    let r2 = post_bcast(&mut lb, 2, 0, &payload);
+    let r3 = post_bcast(&mut lb, 3, 0, &payload);
+    lb.run_until_complete(&[(0, r0), (1, r1), (2, r2), (3, r3)], 2000);
+    for (r, id) in [(0usize, r0), (1, r1), (2, r2), (3, r3)] {
+        match lb.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => assert_eq!(d, payload),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+#[allow(clippy::needless_range_loop)] // rank used as value and index
+fn back_to_back_split_bcasts_stay_in_order() {
+    let n = 8u32;
+    let rounds = 5u8;
+    let mut lb = ab_world(n);
+    let mut all = Vec::new();
+    let mut per_rank: Vec<Vec<abr_mpr::ReqId>> = vec![Vec::new(); n as usize];
+    for k in 0..rounds {
+        let payload = Bytes::from(vec![k; 8]);
+        for r in 0..n as usize {
+            let id = post_bcast(&mut lb, r, 0, &payload);
+            all.push((r, id));
+            per_rank[r].push(id);
+        }
+        lb.route_once();
+    }
+    lb.run_until_complete(&all, 8000);
+    for (r, ids) in per_rank.into_iter().enumerate() {
+        for (k, id) in ids.into_iter().enumerate() {
+            match lb.engines[r].take_outcome(id) {
+                Some(Outcome::Data(d)) => {
+                    assert_eq!(d.as_ref(), &vec![k as u8; 8][..], "rank {r} round {k}")
+                }
+                other => panic!("rank {r} round {k}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn mixed_split_bcast_and_ab_reduce_coexist() {
+    // Reduce traffic flows up while broadcast traffic flows down, both
+    // bypassed, on the same communicator — tags keep the instances apart.
+    let n = 8u32;
+    let mut lb = ab_world(n);
+    let comm = lb.engines[0].world();
+    let payload = Bytes::from(vec![5u8; 8]);
+    let mut reqs = Vec::new();
+    for r in (0..n as usize).rev() {
+        let red = lb.engines[r].ireduce(
+            &comm,
+            0,
+            abr_mpr::ReduceOp::Sum,
+            abr_mpr::Datatype::F64,
+            &f64s_to_bytes(&[r as f64]),
+        );
+        if !lb.engines[r].test(red) && lb.engines[r].bounded_block_hint(red).is_some() {
+            lb.engines[r].split_phase_exit(red);
+        }
+        reqs.push((r, red));
+        let bc = post_bcast(&mut lb, r, 0, &payload);
+        reqs.push((r, bc));
+        lb.route_once();
+    }
+    lb.run_until_complete(&reqs, 8000);
+    // Root's reduce result is correct despite interleaved bcast packets.
+    let (_, root_red) = reqs.iter().copied().find(|&(r, _)| r == 0).unwrap();
+    match lb.engines[0].take_outcome(root_red) {
+        Some(Outcome::Data(d)) => {
+            let expect: f64 = (0..n).map(f64::from).sum();
+            assert_eq!(abr_mpr::types::bytes_to_f64s(&d), vec![expect]);
+        }
+        other => panic!("{other:?}"),
+    }
+    for e in &lb.engines {
+        assert!(e.descriptor_queue().is_empty());
+        assert!(e.bcast_wait_queue().is_empty());
+        assert!(e.ab_unexpected_queue().is_empty());
+    }
+}
+
+#[test]
+fn oversized_split_bcast_falls_back_to_blocking() {
+    let n = 4u32;
+    let mut lb = ab_world(n);
+    let payload = Bytes::from(vec![1u8; 64 * 1024]); // > eager limit
+    let reqs: Vec<_> = (0..n as usize)
+        .map(|r| (r, post_bcast(&mut lb, r, 0, &payload)))
+        .collect();
+    lb.run_until_complete(&reqs, 20_000);
+    for (r, id) in reqs {
+        match lb.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => assert_eq!(d.len(), payload.len(), "rank {r}"),
+            other => panic!("rank {r}: {other:?}"),
+        }
+        assert_eq!(lb.engines[r].ab_stats().bcast_splits, 0, "fallback must not count");
+        assert!(lb.engines[r].inner().memory().is_balanced());
+    }
+}

@@ -1,0 +1,134 @@
+//! Engine-level tests for the NIC-based reduction extension: packets are
+//! consumed at the NIC, host CPU stays clean, results stay correct, and the
+//! NIC strictly ignores anything but reduce traffic.
+
+use abr_core::{AbConfig, AbEngine};
+use abr_mpr::engine::{EngineConfig, MessageEngine};
+use abr_mpr::request::Outcome;
+use abr_mpr::testutil::Loopback;
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};
+use abr_mpr::ReduceOp;
+use bytes::Bytes;
+
+fn nic_world(n: u32) -> Loopback<AbEngine> {
+    let engines = (0..n)
+        .map(|r| AbEngine::new(r, n, EngineConfig::default(), AbConfig::nic_offload()))
+        .collect();
+    let mut lb = Loopback::new(engines);
+    lb.signal_dispatch = true;
+    lb
+}
+
+fn reduce_call(lb: &mut Loopback<AbEngine>, rank: usize, root: u32, data: &[f64]) -> abr_mpr::ReqId {
+    let comm = lb.engines[rank].world();
+    let req =
+        lb.engines[rank].ireduce(&comm, root, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(data));
+    if !lb.engines[rank].test(req) && lb.engines[rank].bounded_block_hint(req).is_some() {
+        lb.engines[rank].split_phase_exit(req);
+    }
+    req
+}
+
+#[test]
+fn nic_consumes_late_children_without_host_involvement() {
+    let n = 8u32;
+    let mut lb = nic_world(n);
+    let mut reqs = Vec::new();
+    // Internal nodes and root post first; leaves are late.
+    for r in [0usize, 2, 4, 6] {
+        reqs.push((r, reduce_call(&mut lb, r, 0, &[r as f64])));
+    }
+    lb.run_to_quiescence(100);
+    // Now the late leaves send; their contributions land at NIC level.
+    for r in [1usize, 3, 5, 7] {
+        reqs.push((r, reduce_call(&mut lb, r, 0, &[r as f64])));
+    }
+    lb.run_until_complete(&reqs, 5000);
+    match lb.engines[0].take_outcome(reqs[0].1) {
+        Some(Outcome::Data(d)) => {
+            let expect: f64 = (0..n).map(f64::from).sum();
+            assert_eq!(bytes_to_f64s(&d), vec![expect]);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(lb.nic_consumed > 0, "the NIC must have consumed late children");
+    assert_eq!(lb.signals_fired, 0, "NIC offload never signals the host");
+    let nic_children: u64 = lb.engines.iter().map(|e| e.ab_stats().nic_children).sum();
+    assert!(nic_children >= 3, "internal nodes' children handled on NIC: {nic_children}");
+    for e in &lb.engines {
+        assert!(e.descriptor_queue().is_empty());
+        assert!(!e.signals_enabled(), "rank {}: signals should stay off", e.rank());
+    }
+}
+
+#[test]
+fn nic_matches_results_of_host_bypass_and_baseline() {
+    for n in [2u32, 4, 8, 16] {
+        let run = |cfg: AbConfig| -> Vec<f64> {
+            let engines = (0..n)
+                .map(|r| AbEngine::new(r, n, EngineConfig::default(), cfg.clone()))
+                .collect();
+            let mut lb = Loopback::new(engines);
+            lb.signal_dispatch = true;
+            let reqs: Vec<_> = (0..n as usize)
+                .rev()
+                .map(|r| (r, reduce_call(&mut lb, r, 0, &[r as f64 * 0.5, 1.0])))
+                .collect();
+            lb.run_until_complete(&reqs, 10_000);
+            let root_req = reqs.iter().find(|&&(r, _)| r == 0).unwrap().1;
+            match lb.engines[0].take_outcome(root_req) {
+                Some(Outcome::Data(d)) => bytes_to_f64s(&d),
+                other => panic!("{other:?}"),
+            }
+        };
+        let baseline = run(AbConfig::disabled());
+        let host = run(AbConfig::default());
+        let nic = run(AbConfig::nic_offload());
+        assert_eq!(baseline, host, "n={n}");
+        assert_eq!(baseline, nic, "n={n}");
+    }
+}
+
+#[test]
+fn nic_ignores_broadcast_and_point_to_point_traffic() {
+    let n = 4u32;
+    let mut lb = nic_world(n);
+    let comm = lb.engines[0].world();
+    // A split broadcast (Collective kind, TAG_BCAST) plus plain p2p.
+    let payload = Bytes::from(vec![3u8; 16]);
+    let mut reqs = Vec::new();
+    for r in 0..n as usize {
+        let data = (r == 0).then(|| payload.clone());
+        reqs.push((r, lb.engines[r].ibcast_split(&comm, 0, data, 16)));
+    }
+    let s = lb.engines[1].isend(&comm, 2, 9, Bytes::from(vec![1u8]));
+    let rcv = lb.engines[2].irecv(&comm, Some(1), abr_mpr::TagSel::Is(9), 8);
+    reqs.push((1, s));
+    reqs.push((2, rcv));
+    lb.run_until_complete(&reqs, 5000);
+    assert_eq!(
+        lb.nic_consumed, 0,
+        "the NIC firmware only understands reduce descriptors"
+    );
+    for (r, id) in &reqs[..n as usize] {
+        match lb.engines[*r].take_outcome(*id) {
+            Some(Outcome::Data(d)) => assert_eq!(d, payload),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn nic_root_fallback_still_passes_to_host() {
+    // The root runs the blocking fallback even in NIC mode: its children's
+    // packets must reach the host path (no descriptor exists at the root).
+    let mut lb = nic_world(2);
+    let r0 = reduce_call(&mut lb, 0, 0, &[1.0]);
+    let r1 = reduce_call(&mut lb, 1, 0, &[2.0]);
+    lb.run_until_complete(&[(0, r0), (1, r1)], 500);
+    match lb.engines[0].take_outcome(r0) {
+        Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![3.0]),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(lb.nic_consumed, 0, "2 ranks: no internal nodes, no NIC work");
+}

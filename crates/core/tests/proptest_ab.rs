@@ -1,0 +1,216 @@
+//! Property tests for the application-bypass layer: result equivalence
+//! under random posting orders and packet reorderings, queue hygiene, and
+//! descriptor-matching correctness under overlapped instances.
+
+use abr_core::{AbConfig, AbEngine, DelayPolicy};
+use abr_mpr::engine::{EngineConfig, MessageEngine};
+use abr_mpr::request::Outcome;
+use abr_mpr::testutil::Loopback;
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};
+use abr_mpr::ReduceOp;
+use proptest::prelude::*;
+
+fn ab_world(n: u32, config: AbConfig, shuffle: Option<u64>) -> Loopback<AbEngine> {
+    let engines = (0..n)
+        .map(|r| AbEngine::new(r, n, EngineConfig::default(), config.clone()))
+        .collect();
+    let mut lb = Loopback::new(engines);
+    lb.signal_dispatch = true;
+    lb.shuffle_seed = shuffle;
+    lb
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Failure injection: arbitrarily slow links (whole per-pair batches
+    /// held back for rounds at a time) must never change reduction results
+    /// or leak bypass state — extreme lateness is the design's home turf.
+    #[test]
+    fn ab_survives_arbitrarily_slow_links(
+        n in 2u32..12,
+        net_seed in any::<u64>(),
+        defer in 1u8..60,
+        rounds in 1usize..4,
+    ) {
+        let mut lb = ab_world(n, AbConfig::default(), Some(net_seed));
+        lb.defer_percent = defer;
+        let mut all = Vec::new();
+        let mut root_reqs = Vec::new();
+        for k in 0..rounds {
+            for r in (0..n as usize).rev() {
+                let req = reduce_call(&mut lb, r, 0, &[(r + k) as f64]);
+                if r == 0 {
+                    root_reqs.push(req);
+                }
+                all.push((r, req));
+            }
+            lb.route_once();
+        }
+        lb.run_until_complete(&all, 30_000);
+        for (k, req) in root_reqs.into_iter().enumerate() {
+            let expect: f64 = (0..n as usize).map(|r| (r + k) as f64).sum();
+            match lb.engines[0].take_outcome(req) {
+                Some(Outcome::Data(d)) => prop_assert_eq!(bytes_to_f64s(&d), vec![expect]),
+                other => return Err(TestCaseError::fail(format!("round {k}: {other:?}"))),
+            }
+        }
+        prop_assert_eq!(lb.deferred_len(), 0, "all held-back packets eventually delivered");
+        for e in &lb.engines {
+            prop_assert!(e.descriptor_queue().is_empty());
+            prop_assert!(e.ab_unexpected_queue().is_empty());
+        }
+    }
+}
+
+/// Post a reduce the way a delay-zero driver would.
+fn reduce_call(lb: &mut Loopback<AbEngine>, rank: usize, root: u32, data: &[f64]) -> abr_mpr::ReqId {
+    let comm = lb.engines[rank].world();
+    let req =
+        lb.engines[rank].ireduce(&comm, root, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(data));
+    if !lb.engines[rank].test(req) && lb.engines[rank].bounded_block_hint(req).is_some() {
+        lb.engines[rank].split_phase_exit(req);
+    }
+    req
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// For any size, root, posting permutation, element count and packet
+    /// interleaving: the bypassed reduction equals the baseline bit for
+    /// bit, and all bypass state drains to empty.
+    #[test]
+    fn ab_correct_under_random_order_and_reordering(
+        n in 2u32..16,
+        root_sel in 0u32..16,
+        elems in 1usize..12,
+        perm_seed in any::<u64>(),
+        net_seed in any::<u64>(),
+        rounds in 1usize..4,
+    ) {
+        let root = root_sel % n;
+        // Deterministic permutation of posting order per round.
+        let mut order: Vec<usize> = (0..n as usize).collect();
+        let mut state = perm_seed | 1;
+        let mut rand = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let mut lb = ab_world(n, AbConfig::default(), Some(net_seed));
+        let mut all = Vec::new();
+        let mut root_reqs = Vec::new();
+        for round in 0..rounds {
+            for i in (1..order.len()).rev() {
+                order.swap(i, (rand() % (i as u64 + 1)) as usize);
+            }
+            for &r in &order {
+                let data: Vec<f64> = (0..elems)
+                    .map(|j| (r * 31 + j * 7 + round) as f64 * 0.25)
+                    .collect();
+                let req = reduce_call(&mut lb, r, root, &data);
+                if r == root as usize {
+                    root_reqs.push(req);
+                }
+                all.push((r, req));
+                // Occasionally move traffic mid-round for extra skew.
+                if rand() % 3 == 0 {
+                    lb.route_once();
+                    lb.progress_all();
+                }
+            }
+        }
+        lb.run_until_complete(&all, 20_000);
+        for (round, req) in root_reqs.into_iter().enumerate() {
+            let expect: Vec<f64> = (0..elems)
+                .map(|j| {
+                    (0..n as usize)
+                        .map(|r| (r * 31 + j * 7 + round) as f64 * 0.25)
+                        .sum()
+                })
+                .collect();
+            match lb.engines[root as usize].take_outcome(req) {
+                Some(Outcome::Data(d)) => {
+                    let got = bytes_to_f64s(&d);
+                    for (g, w) in got.iter().zip(&expect) {
+                        prop_assert!((g - w).abs() < 1e-9, "round {round}: {g} vs {w}");
+                    }
+                }
+                other => return Err(TestCaseError::fail(format!("round {round}: {other:?}"))),
+            }
+        }
+        // All bypass state drained; signals off everywhere.
+        for e in &lb.engines {
+            prop_assert!(e.descriptor_queue().is_empty(), "rank {} leaked descriptors", e.rank());
+            prop_assert!(e.ab_unexpected_queue().is_empty(), "rank {} leaked AB messages", e.rank());
+            prop_assert!(!e.signals_enabled(), "rank {} left signals on", e.rank());
+        }
+    }
+
+    /// The exit-delay policy never changes results, only costs.
+    #[test]
+    fn delay_policy_is_result_transparent(
+        n in 2u32..10,
+        delay_us in 0.0f64..300.0,
+        net_seed in any::<u64>(),
+    ) {
+        let run = |cfg: AbConfig| -> Vec<f64> {
+            let mut lb = ab_world(n, cfg, Some(net_seed));
+            let reqs: Vec<_> = (0..n as usize)
+                .rev()
+                .map(|r| (r, reduce_call(&mut lb, r, 0, &[r as f64, 2.0 * r as f64])))
+                .collect();
+            lb.run_until_complete(&reqs, 10_000);
+            match lb.engines[0].take_outcome(reqs.iter().find(|&&(r, _)| r == 0).unwrap().1) {
+                Some(Outcome::Data(d)) => bytes_to_f64s(&d),
+                other => panic!("{other:?}"),
+            }
+        };
+        let none = run(AbConfig { enabled: true, delay: DelayPolicy::None, nic_offload: false });
+        let delayed = run(AbConfig {
+            enabled: true,
+            delay: DelayPolicy::Fixed { us: delay_us },
+            nic_offload: false,
+        });
+        prop_assert_eq!(none, delayed);
+    }
+
+    /// Split-phase and blocking bypass agree with each other for any mix of
+    /// who-uses-which.
+    #[test]
+    fn split_and_blocking_interoperate(
+        n in 3u32..12,
+        split_mask in any::<u16>(),
+        net_seed in any::<u64>(),
+    ) {
+        let mut lb = ab_world(n, AbConfig::default(), Some(net_seed));
+        let comm = lb.engines[0].world();
+        let mut reqs = Vec::new();
+        for r in (0..n as usize).rev() {
+            let data = f64s_to_bytes(&[(r + 1) as f64]);
+            let use_split = split_mask & (1 << (r % 16)) != 0;
+            let req = if use_split {
+                AbEngine::ireduce_split(&mut lb.engines[r], &comm, 0, ReduceOp::Sum, Datatype::F64, &data)
+            } else {
+                reduce_call(&mut lb, r, 0, &[(r + 1) as f64])
+            };
+            reqs.push((r, req));
+        }
+        lb.run_until_complete(&reqs, 20_000);
+        let root_req = reqs.iter().find(|&&(r, _)| r == 0).unwrap().1;
+        let expect: f64 = (1..=n).map(f64::from).sum();
+        match lb.engines[0].take_outcome(root_req) {
+            Some(Outcome::Data(d)) => prop_assert_eq!(bytes_to_f64s(&d), vec![expect]),
+            Some(Outcome::Done) => {
+                // Root used the blocking path (mask bit off) — fine, the
+                // reduction still completed; re-check via state hygiene.
+            }
+            other => return Err(TestCaseError::fail(format!("{other:?}"))),
+        }
+        for e in &lb.engines {
+            prop_assert!(e.descriptor_queue().is_empty());
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! A cancellable, deterministic event queue.
+//!
+//! Events scheduled for the same instant pop in FIFO scheduling order, so a
+//! simulation run is a pure function of its inputs and seeds. Cancellation is
+//! lazy: a cancelled event stays in the heap but is skipped on pop. This is
+//! the standard DES technique for modelling preemption — the cluster driver
+//! cancels a node's in-flight "step complete" event and reschedules it later
+//! when a signal handler steals the CPU.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::binary_heap::BinaryHeap;
+use std::collections::HashSet;
+
+/// An opaque handle identifying a scheduled event, used to cancel it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+/// An event popped from the queue: when it fires, its id, and its payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduledEvent<E> {
+    /// The virtual instant at which the event fires.
+    pub at: SimTime,
+    /// The handle under which the event was scheduled.
+    pub id: EventId,
+    /// The caller-defined payload.
+    pub payload: E,
+}
+
+struct HeapEntry<E> {
+    at: SimTime,
+    seq: u64,
+    payload: E,
+}
+
+impl<E> PartialEq for HeapEntry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+impl<E> Eq for HeapEntry<E> {}
+impl<E> PartialOrd for HeapEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for HeapEntry<E> {
+    // Reversed: BinaryHeap is a max-heap, we want earliest-first with
+    // lowest-sequence-first tie-breaking.
+    fn cmp(&self, other: &Self) -> Ordering {
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A priority queue of timestamped events with stable tie-breaking and
+/// O(1)-amortized lazy cancellation.
+pub struct EventQueue<E> {
+    heap: BinaryHeap<HeapEntry<E>>,
+    cancelled: HashSet<u64>,
+    /// Ids currently in the heap and not cancelled; makes `cancel` O(1).
+    live: HashSet<u64>,
+    next_seq: u64,
+    now: SimTime,
+    popped: u64,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Create an empty queue with the clock at [`SimTime::ZERO`].
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            cancelled: HashSet::new(),
+            live: HashSet::new(),
+            next_seq: 0,
+            now: SimTime::ZERO,
+            popped: 0,
+        }
+    }
+
+    /// The current virtual time: the timestamp of the most recently popped
+    /// event (or zero before any pop).
+    #[inline]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Total number of events delivered so far.
+    #[inline]
+    pub fn delivered(&self) -> u64 {
+        self.popped
+    }
+
+    /// Number of live (not yet popped, not cancelled) events.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// True if no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Schedule `payload` to fire at absolute time `at`.
+    ///
+    /// # Panics
+    /// Panics if `at` is before the current time — events may not be
+    /// scheduled in the past.
+    pub fn schedule(&mut self, at: SimTime, payload: E) -> EventId {
+        assert!(
+            at >= self.now,
+            "cannot schedule event in the past: at={at:?} now={:?}",
+            self.now
+        );
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(HeapEntry { at, seq, payload });
+        self.live.insert(seq);
+        EventId(seq)
+    }
+
+    /// Cancel a previously scheduled event. Returns `true` if the event was
+    /// still pending (it will now never fire), `false` if it had already
+    /// fired or been cancelled.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if self.live.remove(&id.0) {
+            self.cancelled.insert(id.0);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Remove and return the earliest live event, advancing the clock to its
+    /// timestamp. Returns `None` when the queue is exhausted.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
+        while let Some(entry) = self.heap.pop() {
+            if self.cancelled.remove(&entry.seq) {
+                continue;
+            }
+            self.live.remove(&entry.seq);
+            debug_assert!(entry.at >= self.now, "event queue produced time travel");
+            self.now = entry.at;
+            self.popped += 1;
+            return Some(ScheduledEvent {
+                at: entry.at,
+                id: EventId(entry.seq),
+                payload: entry.payload,
+            });
+        }
+        None
+    }
+
+    /// The timestamp of the next live event without popping it.
+    pub fn peek_time(&mut self) -> Option<SimTime> {
+        // Drop cancelled entries from the front so peek is accurate.
+        while let Some(entry) = self.heap.peek() {
+            if self.cancelled.contains(&entry.seq) {
+                let seq = entry.seq;
+                self.heap.pop();
+                self.cancelled.remove(&seq);
+            } else {
+                return Some(entry.at);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn us(n: u64) -> SimTime {
+        SimTime::from_us(n)
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(us(30), "c");
+        q.schedule(us(10), "a");
+        q.schedule(us(20), "b");
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn simultaneous_events_pop_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(us(5), i);
+        }
+        let order: Vec<_> = std::iter::from_fn(|| q.pop().map(|e| e.payload)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn clock_advances_with_pops() {
+        let mut q = EventQueue::new();
+        q.schedule(us(10), ());
+        q.schedule(us(25), ());
+        assert_eq!(q.now(), SimTime::ZERO);
+        q.pop();
+        assert_eq!(q.now(), us(10));
+        q.pop();
+        assert_eq!(q.now(), us(25));
+        assert_eq!(q.delivered(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot schedule event in the past")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = EventQueue::new();
+        q.schedule(us(10), ());
+        q.pop();
+        q.schedule(us(5), ());
+    }
+
+    #[test]
+    fn cancellation_suppresses_delivery() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(us(10), "a");
+        q.schedule(us(20), "b");
+        assert!(q.cancel(a));
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, "b");
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_safe_after_fire() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(us(10), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a), "double cancel reports false");
+        let b = q.schedule(us(20), ());
+        q.pop();
+        assert!(!q.cancel(b), "cancelling a fired event reports false");
+        assert!(!q.cancel(EventId(999)), "unknown id reports false");
+    }
+
+    #[test]
+    fn len_and_is_empty_account_for_cancellations() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        let a = q.schedule(us(1), ());
+        q.schedule(us(2), ());
+        assert_eq!(q.len(), 2);
+        q.cancel(a);
+        assert_eq!(q.len(), 1);
+        q.pop();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn peek_time_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(us(10), "a");
+        q.schedule(us(20), "b");
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(us(20)));
+        assert_eq!(q.pop().unwrap().payload, "b");
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn reschedule_pattern_models_preemption() {
+        // Cancel an in-flight completion and push it later — the core move
+        // used by the cluster driver when a signal handler preempts a busy
+        // loop.
+        let mut q = EventQueue::new();
+        let done = q.schedule(us(100), "work-done");
+        q.schedule(us(40), "signal");
+        let e = q.pop().unwrap();
+        assert_eq!(e.payload, "signal");
+        assert!(q.cancel(done));
+        q.schedule(e.at + SimDuration::from_us(70), "work-done");
+        let e = q.pop().unwrap();
+        assert_eq!((e.payload, e.at), ("work-done", us(110)));
+    }
+
+    #[test]
+    fn interleaved_schedule_and_pop_is_deterministic() {
+        let run = || {
+            let mut q = EventQueue::new();
+            let mut log = Vec::new();
+            q.schedule(us(1), 1u32);
+            q.schedule(us(3), 3);
+            while let Some(e) = q.pop() {
+                log.push((e.at.as_nanos(), e.payload));
+                if e.payload == 1 {
+                    q.schedule(e.at + SimDuration::from_us(1), 2);
+                }
+            }
+            log
+        };
+        assert_eq!(run(), run());
+        assert_eq!(run().iter().map(|&(_, p)| p).collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Collective-operation state machines (the data half).
+//!
+//! The stepping logic lives in [`crate::engine`] (it needs mutable access to
+//! the engine's queues); this module defines the per-operation state that
+//! persists across progress calls.
+//!
+//! [`ReduceState`] is the **default blocking binomial reduction** — the
+//! `nab` (non-application-bypass) baseline the paper compares against. Its
+//! defining property is visible right in the state: `child_recv` holds *one*
+//! posted receive at a time, in mask order, and the caller polls until the
+//! whole subtree has reported. An early message from a later child waits in
+//! the unexpected queue (two copies); a late message from the current child
+//! stalls the parent completely.
+
+use crate::op::ReduceOp;
+use crate::request::ReqId;
+use crate::types::{Datatype, Rank};
+use abr_gm::packet::PacketKind;
+
+/// State of a blocking binomial-tree reduction (MPICH `intra_Reduce`).
+#[derive(Debug)]
+pub struct ReduceState {
+    /// Collective context id.
+    pub context: u32,
+    /// Root rank.
+    pub root: Rank,
+    /// Communicator size.
+    pub size: u32,
+    /// This rank.
+    pub rank: Rank,
+    /// Operator.
+    pub op: ReduceOp,
+    /// Element type.
+    pub dtype: Datatype,
+    /// Instance sequence number (stamped into packet headers).
+    pub coll_seq: u64,
+    /// Running partial result, seeded with this rank's contribution.
+    pub acc: Vec<u8>,
+    /// Current mask in the MPICH mask loop.
+    pub mask: u32,
+    /// The single outstanding child receive, if any.
+    pub child_recv: Option<ReqId>,
+    /// The send-to-parent request once the mask loop reaches it.
+    pub send_req: Option<ReqId>,
+    /// Packet kind for reduction messages: `Eager` for the stock baseline,
+    /// `Collective` when running under the application-bypass layer (so the
+    /// destination NIC can raise signals).
+    pub packet_kind: PacketKind,
+}
+
+/// State of a binomial-tree broadcast.
+#[derive(Debug)]
+pub struct BcastState {
+    /// Collective context id.
+    pub context: u32,
+    /// Root rank.
+    pub root: Rank,
+    /// Communicator size.
+    pub size: u32,
+    /// This rank.
+    pub rank: Rank,
+    /// Instance sequence number.
+    pub coll_seq: u64,
+    /// Payload length in bytes.
+    pub len: usize,
+    /// The data once this rank has it (root starts with it).
+    pub data: Option<bytes::Bytes>,
+    /// Outstanding receive from the parent.
+    pub recv_req: Option<ReqId>,
+    /// Children still to be sent to (largest subtree first), and any
+    /// outstanding send requests not yet complete.
+    pub sends_remaining: Vec<Rank>,
+    /// In-flight send requests (rendezvous sends complete asynchronously).
+    pub send_reqs: Vec<ReqId>,
+}
+
+/// State of a dissemination barrier.
+#[derive(Debug)]
+pub struct BarrierState {
+    /// Collective context id.
+    pub context: u32,
+    /// Communicator size.
+    pub size: u32,
+    /// This rank.
+    pub rank: Rank,
+    /// Instance sequence number.
+    pub coll_seq: u64,
+    /// Current round (0-based); `ceil(log2(size))` rounds total.
+    pub round: u32,
+    /// Outstanding receive for the current round.
+    pub recv_req: Option<ReqId>,
+}
+
+/// Which phase a composite allreduce is in.
+#[derive(Debug)]
+pub enum AllreducePhase {
+    /// Reducing to rank 0.
+    Reduce(ReduceState),
+    /// Broadcasting the result from rank 0.
+    Bcast(BcastState),
+}
+
+/// State of an allreduce (reduce-to-0 then broadcast, as MPICH does for
+/// user-defined/commutative operations).
+#[derive(Debug)]
+pub struct AllreduceState {
+    /// Current phase.
+    pub phase: AllreducePhase,
+    /// Operator/dtype kept to rebuild the bcast phase.
+    pub op: ReduceOp,
+    /// Element type.
+    pub dtype: Datatype,
+    /// Payload length in bytes.
+    pub len: usize,
+}
+
+/// State of a gather (linear at the root, as MPICH does for small
+/// messages: every rank sends its block directly; the root assembles them
+/// in rank order).
+#[derive(Debug)]
+pub struct GatherState {
+    /// Collective context id.
+    pub context: u32,
+    /// Root rank.
+    pub root: Rank,
+    /// Communicator size.
+    pub size: u32,
+    /// This rank.
+    pub rank: Rank,
+    /// Instance sequence number.
+    pub coll_seq: u64,
+    /// Per-rank block length in bytes.
+    pub block: usize,
+    /// Root: assembled blocks (index = rank).
+    pub chunks: Vec<Option<bytes::Bytes>>,
+    /// Root: outstanding receives (req, src).
+    pub recvs: Vec<(ReqId, Rank)>,
+    /// Non-root: the send request.
+    pub send_req: Option<ReqId>,
+}
+
+/// State of a scatter (linear from the root).
+#[derive(Debug)]
+pub struct ScatterState {
+    /// Collective context id.
+    pub context: u32,
+    /// Root rank.
+    pub root: Rank,
+    /// This rank.
+    pub rank: Rank,
+    /// Instance sequence number.
+    pub coll_seq: u64,
+    /// Non-root: the pending receive for this rank's block.
+    pub recv_req: Option<ReqId>,
+    /// Root: this rank's own block, returned when sends complete.
+    pub own: Option<bytes::Bytes>,
+    /// Root: outstanding sends.
+    pub send_reqs: Vec<ReqId>,
+}
+
+/// Phase of a Rabenseifner (reduce-scatter + recursive-doubling allgather)
+/// allreduce, the bandwidth-optimal algorithm real MPICH switches to for
+/// large messages on power-of-two communicators.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RsPhase {
+    /// Recursive-halving reduce-scatter round (distance shrinking).
+    ReduceScatter {
+        /// Current exchange distance (starts at size/2, halves).
+        dist: u32,
+    },
+    /// Recursive-doubling allgather round (distance growing).
+    Allgather {
+        /// Current exchange distance (starts at 1, doubles).
+        dist: u32,
+    },
+}
+
+/// State of a Rabenseifner allreduce.
+#[derive(Debug)]
+pub struct RsAllreduceState {
+    /// Collective context id.
+    pub context: u32,
+    /// Communicator size (a power of two).
+    pub size: u32,
+    /// This rank.
+    pub rank: Rank,
+    /// Operator.
+    pub op: ReduceOp,
+    /// Element type.
+    pub dtype: Datatype,
+    /// Instance sequence number.
+    pub coll_seq: u64,
+    /// Full-length working buffer.
+    pub buf: Vec<u8>,
+    /// Current phase and distance.
+    pub phase: RsPhase,
+    /// Byte offset of the segment this rank currently owns.
+    pub offset: usize,
+    /// Byte length of that segment.
+    pub seglen: usize,
+    /// Outstanding exchange.
+    pub send_req: Option<ReqId>,
+    /// Outstanding exchange receive.
+    pub recv_req: Option<ReqId>,
+}
+
+/// Which phase a composite allgather is in.
+#[derive(Debug)]
+pub enum AllgatherPhase {
+    /// Gathering to rank 0.
+    Gather(GatherState),
+    /// Broadcasting the assembled buffer from rank 0.
+    Bcast(BcastState),
+}
+
+/// State of an allgather (gather to 0, then broadcast).
+#[derive(Debug)]
+pub struct AllgatherState {
+    /// Current phase.
+    pub phase: AllgatherPhase,
+    /// Total assembled length (`block * size`).
+    pub total_len: usize,
+}
+
+/// Any collective in flight.
+#[derive(Debug)]
+pub enum CollState {
+    /// Blocking binomial reduce (the `nab` baseline).
+    Reduce(ReduceState),
+    /// Binomial broadcast.
+    Bcast(BcastState),
+    /// Dissemination barrier.
+    Barrier(BarrierState),
+    /// Reduce + broadcast.
+    Allreduce(AllreduceState),
+    /// Linear gather.
+    Gather(GatherState),
+    /// Linear scatter.
+    Scatter(ScatterState),
+    /// Gather + broadcast.
+    Allgather(AllgatherState),
+    /// Rabenseifner allreduce (large messages, power-of-two sizes).
+    RsAllreduce(RsAllreduceState),
+}
+
+impl CollState {
+    /// Short name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CollState::Reduce(_) => "reduce",
+            CollState::Bcast(_) => "bcast",
+            CollState::Barrier(_) => "barrier",
+            CollState::Allreduce(_) => "allreduce",
+            CollState::Gather(_) => "gather",
+            CollState::Scatter(_) => "scatter",
+            CollState::Allgather(_) => "allgather",
+            CollState::RsAllreduce(_) => "rs-allreduce",
+        }
+    }
+}
+
+/// Number of dissemination-barrier rounds for `size` ranks.
+pub fn barrier_rounds(size: u32) -> u32 {
+    crate::tree::tree_depth(size)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn barrier_round_counts() {
+        assert_eq!(barrier_rounds(1), 0);
+        assert_eq!(barrier_rounds(2), 1);
+        assert_eq!(barrier_rounds(3), 2);
+        assert_eq!(barrier_rounds(8), 3);
+        assert_eq!(barrier_rounds(9), 4);
+        assert_eq!(barrier_rounds(32), 5);
+    }
+
+    #[test]
+    fn coll_names() {
+        let r = CollState::Barrier(BarrierState {
+            context: 1,
+            size: 2,
+            rank: 0,
+            coll_seq: 0,
+            round: 0,
+            recv_req: None,
+        });
+        assert_eq!(r.name(), "barrier");
+    }
+}

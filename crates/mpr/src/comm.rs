@@ -1,0 +1,90 @@
+//! Communicators: a (point-to-point context, collective context, size)
+//! triple. MPICH separates collective traffic from application traffic with
+//! a hidden context id; the application-bypass layer additionally relies on
+//! a per-communicator collective *sequence number* to identify reduction
+//! instances (§IV-D).
+
+use crate::types::{MprError, Rank};
+
+/// A communicator handle. All ranks must create communicators in the same
+/// order so context ids agree, as in MPI.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Communicator {
+    /// Context id stamped on point-to-point traffic.
+    pub pt2pt_context: u32,
+    /// Context id stamped on collective traffic (hidden from applications).
+    pub coll_context: u32,
+    /// Number of ranks.
+    pub size: u32,
+}
+
+impl Communicator {
+    /// The world communicator over `size` ranks.
+    pub fn world(size: u32) -> Self {
+        debug_assert!(size >= 1);
+        Communicator {
+            pt2pt_context: 0,
+            coll_context: 1,
+            size,
+        }
+    }
+
+    /// Derive the `n`-th application-created communicator (all ranks must
+    /// use the same `n` sequence). Context ids are allocated in pairs above
+    /// the world communicator's.
+    pub fn derived(n: u32, size: u32) -> Self {
+        Communicator {
+            pt2pt_context: 2 + 2 * n,
+            coll_context: 3 + 2 * n,
+            size,
+        }
+    }
+
+    /// Validate a rank against this communicator.
+    pub fn check_rank(&self, rank: Rank) -> Result<(), MprError> {
+        if rank < self.size {
+            Ok(())
+        } else {
+            Err(MprError::InvalidRank {
+                rank,
+                size: self.size,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_contexts_are_distinct() {
+        let w = Communicator::world(4);
+        assert_ne!(w.pt2pt_context, w.coll_context);
+        assert_eq!(w.size, 4);
+    }
+
+    #[test]
+    fn derived_contexts_never_collide() {
+        let w = Communicator::world(4);
+        let mut seen = std::collections::HashSet::new();
+        seen.insert(w.pt2pt_context);
+        seen.insert(w.coll_context);
+        for n in 0..10 {
+            let c = Communicator::derived(n, 4);
+            assert!(seen.insert(c.pt2pt_context), "pt2pt ctx collision at {n}");
+            assert!(seen.insert(c.coll_context), "coll ctx collision at {n}");
+        }
+    }
+
+    #[test]
+    fn rank_validation() {
+        let w = Communicator::world(4);
+        assert!(w.check_rank(0).is_ok());
+        assert!(w.check_rank(3).is_ok());
+        assert!(matches!(
+            w.check_rank(4),
+            Err(MprError::InvalidRank { rank: 4, size: 4 })
+        ));
+    }
+}

@@ -1,0 +1,290 @@
+//! Posted-receive and unexpected-message queues with MPI matching semantics.
+//!
+//! §III of the paper describes the default MPICH behaviour this models: a
+//! message that arrives before a matching receive is posted is copied into a
+//! temporary buffer on the *unexpected queue*; a later matching receive
+//! copies it again into the user buffer (two copies). A message that finds
+//! a posted receive is copied once, directly into the user buffer.
+//!
+//! Matching is FIFO within each queue, on (context, source, tag) with
+//! wildcard source and tag — the MPI non-overtaking rule given the FIFO
+//! transport underneath.
+
+use crate::request::ReqId;
+use crate::types::{Rank, TagSel};
+use abr_gm::packet::PacketKind;
+use bytes::Bytes;
+use std::collections::VecDeque;
+
+/// A receive the application (or a collective state machine) has posted.
+#[derive(Debug, Clone)]
+pub struct PostedRecv {
+    /// The request this receive completes.
+    pub id: ReqId,
+    /// Source selector; `None` is `MPI_ANY_SOURCE`.
+    pub src: Option<Rank>,
+    /// Tag selector.
+    pub tag: TagSel,
+    /// Communicator context id.
+    pub context: u32,
+    /// Receive-buffer capacity in bytes.
+    pub capacity: usize,
+    /// Collective sequence number this receive belongs to, if any; used only
+    /// for debug cross-checks (FIFO ordering already guarantees instance
+    /// correctness, §IV-D).
+    pub expect_coll_seq: Option<u64>,
+}
+
+/// A key describing an incoming message for matching purposes.
+#[derive(Debug, Clone, Copy)]
+pub struct MsgKey {
+    /// Sending rank.
+    pub src: Rank,
+    /// Message tag.
+    pub tag: i32,
+    /// Communicator context id.
+    pub context: u32,
+}
+
+impl MsgKey {
+    fn matches(&self, p: &PostedRecv) -> bool {
+        p.context == self.context
+            && p.src.is_none_or(|s| s == self.src)
+            && p.tag.accepts(self.tag)
+    }
+}
+
+/// The posted-receive queue.
+#[derive(Debug, Default)]
+pub struct PostedQueue {
+    queue: VecDeque<PostedRecv>,
+}
+
+impl PostedQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Append a posted receive (FIFO per MPI posting order).
+    pub fn post(&mut self, recv: PostedRecv) {
+        self.queue.push_back(recv);
+    }
+
+    /// Remove and return the first posted receive matching `key`.
+    pub fn take_match(&mut self, key: &MsgKey) -> Option<PostedRecv> {
+        let idx = self.queue.iter().position(|p| key.matches(p))?;
+        self.queue.remove(idx)
+    }
+
+    /// Cancel a posted receive by request id; returns true if found.
+    pub fn cancel(&mut self, id: ReqId) -> bool {
+        if let Some(idx) = self.queue.iter().position(|p| p.id == id) {
+            self.queue.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Number of outstanding posted receives.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when nothing is posted.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+}
+
+/// A message parked on the unexpected queue.
+#[derive(Debug, Clone)]
+pub struct UnexpectedMsg {
+    /// Sender.
+    pub src: Rank,
+    /// Tag.
+    pub tag: i32,
+    /// Context id.
+    pub context: u32,
+    /// Original GM packet kind (an unexpected rendezvous RTS parks here with
+    /// empty data).
+    pub kind: PacketKind,
+    /// Collective sequence number from the header.
+    pub coll_seq: u64,
+    /// Payload (already copied once into this temporary buffer).
+    pub data: Bytes,
+    /// Full message length the sender announced (equals `data.len()` except
+    /// for a parked RTS).
+    pub msg_len: usize,
+}
+
+/// The unexpected-message queue (the *MPICH* one; the application-bypass
+/// layer keeps its own separate queue in `abr_core`, §V-A).
+#[derive(Debug, Default)]
+pub struct UnexpectedQueue {
+    queue: VecDeque<UnexpectedMsg>,
+    high_water: usize,
+}
+
+impl UnexpectedQueue {
+    /// An empty queue.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Park an unexpected message.
+    pub fn push(&mut self, msg: UnexpectedMsg) {
+        self.queue.push_back(msg);
+        self.high_water = self.high_water.max(self.queue.len());
+    }
+
+    /// Remove and return the first parked message a new receive
+    /// (src/tag/context) matches, preserving arrival order.
+    pub fn take_match(
+        &mut self,
+        src: Option<Rank>,
+        tag: TagSel,
+        context: u32,
+    ) -> Option<UnexpectedMsg> {
+        let idx = self.queue.iter().position(|m| {
+            m.context == context && src.is_none_or(|s| s == m.src) && tag.accepts(m.tag)
+        })?;
+        self.queue.remove(idx)
+    }
+
+    /// Number of parked messages.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Largest queue length ever reached.
+    pub fn high_water(&self) -> usize {
+        self.high_water
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::ReqId;
+
+    fn posted(id: u64, src: Option<Rank>, tag: TagSel, ctx: u32) -> PostedRecv {
+        PostedRecv {
+            id: ReqId::from_raw(id),
+            src,
+            tag,
+            context: ctx,
+            capacity: 64,
+            expect_coll_seq: None,
+        }
+    }
+
+    fn key(src: Rank, tag: i32, ctx: u32) -> MsgKey {
+        MsgKey { src, tag, context: ctx }
+    }
+
+    fn unexpected(src: Rank, tag: i32, ctx: u32) -> UnexpectedMsg {
+        UnexpectedMsg {
+            src,
+            tag,
+            context: ctx,
+            kind: PacketKind::Eager,
+            coll_seq: 0,
+            data: Bytes::new(),
+            msg_len: 0,
+        }
+    }
+
+    #[test]
+    fn exact_match_consumes_entry() {
+        let mut q = PostedQueue::new();
+        q.post(posted(1, Some(3), TagSel::Is(7), 0));
+        assert!(q.take_match(&key(3, 8, 0)).is_none());
+        assert!(q.take_match(&key(4, 7, 0)).is_none());
+        assert!(q.take_match(&key(3, 7, 1)).is_none());
+        let hit = q.take_match(&key(3, 7, 0)).unwrap();
+        assert_eq!(hit.id, ReqId::from_raw(1));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn wildcards_match_anything_in_context() {
+        let mut q = PostedQueue::new();
+        q.post(posted(1, None, TagSel::Any, 2));
+        assert!(q.take_match(&key(9, -5, 3)).is_none(), "context is never wild");
+        assert!(q.take_match(&key(9, -5, 2)).is_some());
+    }
+
+    #[test]
+    fn fifo_order_among_multiple_matches() {
+        let mut q = PostedQueue::new();
+        q.post(posted(1, None, TagSel::Any, 0));
+        q.post(posted(2, Some(5), TagSel::Is(7), 0));
+        // Both match; the earlier posting wins (MPI matching order).
+        let hit = q.take_match(&key(5, 7, 0)).unwrap();
+        assert_eq!(hit.id, ReqId::from_raw(1));
+        let hit = q.take_match(&key(5, 7, 0)).unwrap();
+        assert_eq!(hit.id, ReqId::from_raw(2));
+    }
+
+    #[test]
+    fn non_matching_entries_are_skipped_not_blocked() {
+        let mut q = PostedQueue::new();
+        q.post(posted(1, Some(0), TagSel::Is(1), 0));
+        q.post(posted(2, Some(9), TagSel::Is(2), 0));
+        let hit = q.take_match(&key(9, 2, 0)).unwrap();
+        assert_eq!(hit.id, ReqId::from_raw(2));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn cancel_removes_by_id() {
+        let mut q = PostedQueue::new();
+        q.post(posted(1, None, TagSel::Any, 0));
+        q.post(posted(2, None, TagSel::Any, 0));
+        assert!(q.cancel(ReqId::from_raw(1)));
+        assert!(!q.cancel(ReqId::from_raw(1)));
+        assert_eq!(q.take_match(&key(0, 0, 0)).unwrap().id, ReqId::from_raw(2));
+    }
+
+    #[test]
+    fn unexpected_fifo_and_wildcards() {
+        let mut q = UnexpectedQueue::new();
+        q.push(unexpected(1, 5, 0));
+        q.push(unexpected(2, 5, 0));
+        q.push(unexpected(1, 6, 0));
+        // Wildcard source, exact tag: arrival order among tag-5 messages.
+        let m = q.take_match(None, TagSel::Is(5), 0).unwrap();
+        assert_eq!(m.src, 1);
+        let m = q.take_match(None, TagSel::Is(5), 0).unwrap();
+        assert_eq!(m.src, 2);
+        // Exact source, any tag.
+        let m = q.take_match(Some(1), TagSel::Any, 0).unwrap();
+        assert_eq!(m.tag, 6);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn unexpected_context_isolation() {
+        let mut q = UnexpectedQueue::new();
+        q.push(unexpected(1, 5, 0));
+        assert!(q.take_match(None, TagSel::Any, 1).is_none());
+        assert!(q.take_match(None, TagSel::Any, 0).is_some());
+    }
+
+    #[test]
+    fn unexpected_high_water_tracks_peak() {
+        let mut q = UnexpectedQueue::new();
+        q.push(unexpected(1, 1, 0));
+        q.push(unexpected(1, 2, 0));
+        q.take_match(None, TagSel::Any, 0).unwrap();
+        q.push(unexpected(1, 3, 0));
+        assert_eq!(q.high_water(), 2);
+    }
+}

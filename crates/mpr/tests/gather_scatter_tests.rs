@@ -1,0 +1,161 @@
+//! Tests for the gather / scatter / allgather collectives.
+
+use abr_mpr::engine::{Engine, EngineConfig};
+use abr_mpr::request::Outcome;
+use abr_mpr::testutil::{engines, Loopback};
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes};
+
+fn world(n: u32) -> Loopback<Engine> {
+    Loopback::new(engines(n, EngineConfig::default()))
+}
+
+#[test]
+fn gather_assembles_blocks_in_rank_order() {
+    for n in [1u32, 2, 3, 5, 8, 16] {
+        for root in [0, n - 1] {
+            let mut lb = world(n);
+            let comm = lb.engines[0].world();
+            let reqs: Vec<_> = (0..n as usize)
+                .map(|r| {
+                    let data = f64s_to_bytes(&[r as f64, -(r as f64)]);
+                    (r, lb.engines[r].igather(&comm, root, &data))
+                })
+                .collect();
+            lb.run_until_complete(&reqs, 3000);
+            for (r, id) in reqs {
+                match lb.engines[r].take_outcome(id) {
+                    Some(Outcome::Data(d)) => {
+                        assert_eq!(r as u32, root, "only the root gets data");
+                        let vals = bytes_to_f64s(&d);
+                        let expect: Vec<f64> =
+                            (0..n).flat_map(|k| [k as f64, -(k as f64)]).collect();
+                        assert_eq!(vals, expect, "n={n} root={root}");
+                    }
+                    Some(Outcome::Done) => assert_ne!(r as u32, root),
+                    other => panic!("n={n} root={root} rank={r}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_distributes_blocks() {
+    for n in [1u32, 2, 4, 7, 8] {
+        for root in [0, n / 2] {
+            let mut lb = world(n);
+            let comm = lb.engines[0].world();
+            let full: Vec<f64> = (0..n).map(|k| 100.0 + k as f64).collect();
+            let buf = f64s_to_bytes(&full);
+            let reqs: Vec<_> = (0..n as usize)
+                .map(|r| {
+                    let data = (r as u32 == root).then_some(&buf[..]);
+                    (r, lb.engines[r].iscatter(&comm, root, data, 8))
+                })
+                .collect();
+            lb.run_until_complete(&reqs, 3000);
+            for (r, id) in reqs {
+                match lb.engines[r].take_outcome(id) {
+                    Some(Outcome::Data(d)) => {
+                        assert_eq!(bytes_to_f64s(&d), vec![100.0 + r as f64], "n={n} root={root}")
+                    }
+                    other => panic!("n={n} root={root} rank={r}: {other:?}"),
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn allgather_gives_everyone_everything() {
+    for n in [1u32, 2, 4, 6, 16] {
+        let mut lb = world(n);
+        let comm = lb.engines[0].world();
+        let reqs: Vec<_> = (0..n as usize)
+            .map(|r| {
+                let data = f64s_to_bytes(&[(r * r) as f64]);
+                (r, lb.engines[r].iallgather(&comm, &data))
+            })
+            .collect();
+        lb.run_until_complete(&reqs, 4000);
+        let expect: Vec<f64> = (0..n).map(|k| (k * k) as f64).collect();
+        for (r, id) in reqs {
+            match lb.engines[r].take_outcome(id) {
+                Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), expect, "n={n} rank={r}"),
+                other => panic!("n={n} rank={r}: {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn scatter_then_gather_roundtrips() {
+    let n = 8u32;
+    let mut lb = world(n);
+    let comm = lb.engines[0].world();
+    let original: Vec<f64> = (0..n).map(|k| k as f64 * 3.25).collect();
+    let buf = f64s_to_bytes(&original);
+    // Scatter the buffer, then gather it back; it must be unchanged.
+    let scatter: Vec<_> = (0..n as usize)
+        .map(|r| {
+            let data = (r == 0).then_some(&buf[..]);
+            (r, lb.engines[r].iscatter(&comm, 0, data, 8))
+        })
+        .collect();
+    lb.run_until_complete(&scatter, 3000);
+    let mut chunks = Vec::new();
+    for (r, id) in scatter {
+        match lb.engines[r].take_outcome(id) {
+            Some(Outcome::Data(d)) => chunks.push((r, d)),
+            other => panic!("rank {r}: {other:?}"),
+        }
+    }
+    let gather: Vec<_> = chunks
+        .into_iter()
+        .map(|(r, chunk)| (r, lb.engines[r].igather(&comm, 0, &chunk)))
+        .collect();
+    lb.run_until_complete(&gather, 3000);
+    match lb.engines[0].take_outcome(gather[0].1) {
+        Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), original),
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+fn gather_with_early_and_late_senders() {
+    let n = 6u32;
+    let mut lb = world(n);
+    let comm = lb.engines[0].world();
+    // Half the senders go before the root posts, half after.
+    let mut reqs = Vec::new();
+    for r in [1usize, 2] {
+        let data = f64s_to_bytes(&[r as f64]);
+        reqs.push((r, lb.engines[r].igather(&comm, 0, &data)));
+    }
+    lb.run_to_quiescence(100);
+    let root_req = {
+        let data = f64s_to_bytes(&[0.0]);
+        lb.engines[0].igather(&comm, 0, &data)
+    };
+    reqs.push((0, root_req));
+    for r in [3usize, 4, 5] {
+        let data = f64s_to_bytes(&[r as f64]);
+        reqs.push((r, lb.engines[r].igather(&comm, 0, &data)));
+    }
+    lb.run_until_complete(&reqs, 3000);
+    match lb.engines[0].take_outcome(root_req) {
+        Some(Outcome::Data(d)) => {
+            assert_eq!(bytes_to_f64s(&d), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0])
+        }
+        other => panic!("{other:?}"),
+    }
+}
+
+#[test]
+#[should_panic(expected = "size*block")]
+fn scatter_rejects_misshapen_buffer() {
+    let mut lb = world(4);
+    let comm = lb.engines[0].world();
+    let buf = vec![0u8; 17]; // not 4 * block for any block=8
+    let _ = lb.engines[0].iscatter(&comm, 0, Some(&buf), 8);
+}

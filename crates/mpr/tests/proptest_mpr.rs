@@ -1,0 +1,187 @@
+//! Property tests for the MPICH-like runtime: binomial-tree invariants,
+//! matching queues against a reference model, and collectives over random
+//! shapes (with per-pair-FIFO-preserving network shuffles).
+
+use abr_mpr::engine::{Engine, EngineConfig};
+use abr_mpr::matchq::{MsgKey, PostedQueue, PostedRecv, UnexpectedMsg, UnexpectedQueue};
+use abr_mpr::op::ReduceOp;
+use abr_mpr::testutil::{engines, Loopback};
+use abr_mpr::tree;
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype, TagSel};
+use abr_mpr::ReqId;
+use proptest::prelude::*;
+
+proptest! {
+    /// Binomial-tree structural invariants for arbitrary (size, root).
+    #[test]
+    fn tree_invariants(size in 1u32..200, root_sel in 0u32..200) {
+        let root = root_sel % size;
+        let mut edges = 0u32;
+        for rank in 0..size {
+            match tree::parent(rank, root, size) {
+                None => prop_assert_eq!(rank, root),
+                Some(p) => {
+                    prop_assert!(p < size);
+                    prop_assert!(tree::children(p, root, size).contains(&rank));
+                }
+            }
+            edges += tree::children(rank, root, size).len() as u32;
+            prop_assert!(tree::hops_to_root(rank, root, size) <= tree::tree_depth(size));
+            // Exactly one of root/leaf/internal.
+            let is_root = rank == root;
+            let leaf = tree::is_leaf(rank, root, size);
+            let internal = tree::is_internal(rank, root, size);
+            prop_assert_eq!(u8::from(is_root) + u8::from(leaf) + u8::from(internal), 1,
+                "rank {} size {} root {}", rank, size, root);
+        }
+        prop_assert_eq!(edges, size - 1);
+        // The designated last node is at maximal depth.
+        let last = tree::last_node(root, size);
+        let max_hops = (0..size).map(|r| tree::hops_to_root(r, root, size)).max().unwrap();
+        prop_assert_eq!(tree::hops_to_root(last, root, size), max_hops);
+    }
+
+    /// The posted queue returns exactly what a linear-scan reference model
+    /// returns, for arbitrary posting orders and match keys.
+    #[test]
+    fn posted_queue_matches_model(
+        posts in prop::collection::vec((0u32..8, any::<bool>(), 0i32..8, any::<bool>(), 0u32..3), 0..40),
+        probes in prop::collection::vec((0u32..8, 0i32..8, 0u32..3), 0..40),
+    ) {
+        let mut q = PostedQueue::new();
+        let mut model: Vec<PostedRecv> = Vec::new();
+        for (i, (src, any_src, tag, any_tag, ctx)) in posts.into_iter().enumerate() {
+            let p = PostedRecv {
+                id: ReqId::from_raw(i as u64),
+                src: (!any_src).then_some(src),
+                tag: if any_tag { TagSel::Any } else { TagSel::Is(tag) },
+                context: ctx,
+                capacity: 0,
+                expect_coll_seq: None,
+            };
+            q.post(p.clone());
+            model.push(p);
+        }
+        for (src, tag, ctx) in probes {
+            let key = MsgKey { src, tag, context: ctx };
+            let model_hit = model.iter().position(|p| {
+                p.context == ctx
+                    && p.src.is_none_or(|s| s == src)
+                    && p.tag.accepts(tag)
+            });
+            let got = q.take_match(&key);
+            match model_hit {
+                Some(i) => {
+                    let want = model.remove(i);
+                    prop_assert_eq!(got.map(|g| g.id), Some(want.id));
+                }
+                None => prop_assert!(got.is_none()),
+            }
+        }
+        prop_assert_eq!(q.len(), model.len());
+    }
+
+    /// Ditto for the unexpected queue.
+    #[test]
+    fn unexpected_queue_matches_model(
+        msgs in prop::collection::vec((0u32..6, 0i32..6, 0u32..2), 0..40),
+        probes in prop::collection::vec((0u32..6, any::<bool>(), 0i32..6, any::<bool>(), 0u32..2), 0..40),
+    ) {
+        let mut q = UnexpectedQueue::new();
+        let mut model: Vec<(u32, i32, u32, u64)> = Vec::new();
+        for (i, (src, tag, ctx)) in msgs.into_iter().enumerate() {
+            q.push(UnexpectedMsg {
+                src,
+                tag,
+                context: ctx,
+                kind: abr_gm::packet::PacketKind::Eager,
+                coll_seq: i as u64,
+                data: bytes::Bytes::new(),
+                msg_len: 0,
+            });
+            model.push((src, tag, ctx, i as u64));
+        }
+        for (src, any_src, tag, any_tag, ctx) in probes {
+            let src_sel = (!any_src).then_some(src);
+            let tag_sel = if any_tag { TagSel::Any } else { TagSel::Is(tag) };
+            let model_hit = model.iter().position(|&(s, t, c, _)| {
+                c == ctx && src_sel.is_none_or(|x| x == s) && tag_sel.accepts(t)
+            });
+            let got = q.take_match(src_sel, tag_sel, ctx);
+            match model_hit {
+                Some(i) => {
+                    let (_, _, _, seq) = model.remove(i);
+                    prop_assert_eq!(got.map(|m| m.coll_seq), Some(seq));
+                }
+                None => prop_assert!(got.is_none()),
+            }
+        }
+    }
+
+    /// Every collective completes and produces correct results for random
+    /// sizes even when cross-pair packet delivery order is shuffled.
+    #[test]
+    fn collectives_survive_cross_pair_reordering(
+        n in 2u32..12,
+        seed in any::<u64>(),
+        elems in 1usize..8,
+    ) {
+        let mut lb = Loopback::new(engines(n, EngineConfig::default()));
+        lb.shuffle_seed = Some(seed);
+        let comm = lb.engines[0].world();
+        // A reduce, a barrier and an allreduce back to back.
+        let mut reqs = Vec::new();
+        for r in 0..n as usize {
+            let data = f64s_to_bytes(&vec![r as f64 + 1.0; elems]);
+            reqs.push((r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data)));
+        }
+        for r in 0..n as usize {
+            reqs.push((r, lb.engines[r].ibarrier(&comm)));
+        }
+        for r in 0..n as usize {
+            let data = f64s_to_bytes(&vec![1.0; elems]);
+            reqs.push((r, lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &data)));
+        }
+        lb.run_until_complete(&reqs, 8000);
+        let expect: f64 = (1..=n).map(f64::from).sum();
+        let red = lb.expect_data(0, reqs[0].1);
+        prop_assert_eq!(bytes_to_f64s(&red), vec![expect; elems]);
+        // Allreduce results at every rank.
+        for r in 0..n as usize {
+            let (_, id) = reqs[2 * n as usize + r];
+            let d = lb.expect_data(r, id);
+            prop_assert_eq!(bytes_to_f64s(&d), vec![n as f64; elems]);
+        }
+    }
+
+    /// Point-to-point with wildcard receives never loses or duplicates a
+    /// message under reordering.
+    #[test]
+    fn p2p_conservation_under_reordering(n_msgs in 1usize..30, seed in any::<u64>()) {
+        let mut lb = Loopback::new(engines(2, EngineConfig::default()));
+        lb.shuffle_seed = Some(seed);
+        let comm = lb.engines[0].world();
+        let mut sends = Vec::new();
+        for i in 0..n_msgs {
+            let payload = bytes::Bytes::from(vec![i as u8; 4]);
+            sends.push((0usize, lb.engines[0].isend(&comm, 1, i as i32, payload)));
+        }
+        lb.run_to_quiescence(200);
+        let mut seen = Vec::new();
+        for _ in 0..n_msgs {
+            let r = lb.engines[1].irecv(&comm, Some(0), TagSel::Any, 16);
+            lb.run_until_complete(&[(1, r)], 200);
+            seen.push(lb.expect_data(1, r)[0]);
+        }
+        seen.sort_unstable();
+        prop_assert_eq!(seen, (0..n_msgs as u8).collect::<Vec<_>>());
+        let _ = sends;
+    }
+}
+
+/// Engine construction panics on bad ranks (guard rails hold).
+#[test]
+#[should_panic(expected = "outside")]
+fn engine_rejects_out_of_range_rank() {
+    let _ = Engine::new(5, 4, EngineConfig::default());
+}

@@ -1,0 +1,168 @@
+//! Mixed-collective stress: long random sequences of every collective,
+//! interleaved across ranks under packet reordering and link deferral,
+//! checked against locally computed expectations.
+
+use abr_mpr::engine::{Engine, EngineConfig};
+use abr_mpr::request::Outcome;
+use abr_mpr::testutil::{engines, Loopback};
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};
+use abr_mpr::{ReduceOp, ReqId};
+use bytes::Bytes;
+
+/// A deterministic mini-RNG for the schedule.
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state << 13;
+    *state ^= *state >> 7;
+    *state ^= *state << 17;
+    *state
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Op {
+    Reduce { root: u32, elems: usize },
+    Bcast { root: u32, elems: usize },
+    Allreduce { elems: usize },
+    Allgather { elems: usize },
+    Barrier,
+}
+
+fn schedule(seed: u64, n: u32, len: usize) -> Vec<Op> {
+    let mut state = seed | 1;
+    (0..len)
+        .map(|_| {
+            let root = (xorshift(&mut state) % n as u64) as u32;
+            let elems = 1 + (xorshift(&mut state) % 16) as usize;
+            match xorshift(&mut state) % 5 {
+                0 => Op::Reduce { root, elems },
+                1 => Op::Bcast { root, elems },
+                2 => Op::Allreduce { elems },
+                3 => Op::Allgather { elems },
+                _ => Op::Barrier,
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn long_mixed_collective_sequences_stay_correct() {
+    for seed in [7u64, 99, 12345] {
+        let n = 8u32;
+        let ops = schedule(seed, n, 25);
+        let mut lb = Loopback::new(engines(n, EngineConfig::default()));
+        lb.shuffle_seed = Some(seed);
+        lb.defer_percent = 20;
+        let comm = lb.engines[0].world();
+        // Post everything on every rank, staggered by occasional routing.
+        let mut tracked: Vec<(usize, usize, ReqId)> = Vec::new(); // (op idx, rank, req)
+        for (k, op) in ops.iter().enumerate() {
+            for r in 0..n as usize {
+                let req = match *op {
+                    Op::Reduce { root, elems } => {
+                        let data = f64s_to_bytes(&vec![(r + k) as f64; elems]);
+                        lb.engines[r].ireduce(&comm, root, ReduceOp::Sum, Datatype::F64, &data)
+                    }
+                    Op::Bcast { root, elems } => {
+                        let data = (r as u32 == root)
+                            .then(|| Bytes::from(f64s_to_bytes(&vec![k as f64; elems])));
+                        lb.engines[r].ibcast(&comm, root, data, elems * 8)
+                    }
+                    Op::Allreduce { elems } => {
+                        let data = f64s_to_bytes(&vec![(r * 2 + k) as f64; elems]);
+                        lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &data)
+                    }
+                    Op::Allgather { elems } => {
+                        let data = f64s_to_bytes(&vec![(r * 10 + k) as f64; elems]);
+                        abr_mpr::engine::Engine::iallgather(&mut lb.engines[r], &comm, &data)
+                    }
+                    Op::Barrier => lb.engines[r].ibarrier(&comm),
+                };
+                tracked.push((k, r, req));
+            }
+            if k % 3 == 0 {
+                lb.route_once();
+                lb.progress_all();
+            }
+        }
+        let all: Vec<(usize, ReqId)> = tracked.iter().map(|&(_, r, q)| (r, q)).collect();
+        lb.run_until_complete(&all, 60_000);
+        // Verify every data-bearing outcome.
+        for (k, r, req) in tracked {
+            let out = lb.engines[r].take_outcome(req);
+            match (ops[k], out) {
+                (Op::Reduce { root, elems }, Some(Outcome::Data(d))) => {
+                    assert_eq!(r as u32, root, "only roots get reduce data");
+                    let expect: f64 = (0..n as usize).map(|q| (q + k) as f64).sum();
+                    assert_eq!(bytes_to_f64s(&d), vec![expect; elems], "seed={seed} op {k}");
+                }
+                (Op::Reduce { root, .. }, Some(Outcome::Done)) => {
+                    assert_ne!(r as u32, root);
+                }
+                (Op::Bcast { elems, .. }, Some(Outcome::Data(d))) => {
+                    assert_eq!(bytes_to_f64s(&d), vec![k as f64; elems], "seed={seed} op {k}");
+                }
+                (Op::Allreduce { elems }, Some(Outcome::Data(d))) => {
+                    let expect: f64 = (0..n as usize).map(|q| (q * 2 + k) as f64).sum();
+                    assert_eq!(bytes_to_f64s(&d), vec![expect; elems], "seed={seed} op {k}");
+                }
+                (Op::Allgather { elems }, Some(Outcome::Data(d))) => {
+                    let got = bytes_to_f64s(&d);
+                    let expect: Vec<f64> = (0..n as usize)
+                        .flat_map(|q| vec![(q * 10 + k) as f64; elems])
+                        .collect();
+                    assert_eq!(got, expect, "seed={seed} op {k}");
+                }
+                (Op::Barrier, Some(Outcome::Done)) => {}
+                (op, out) => panic!("seed={seed} op {k} rank {r}: {op:?} -> {out:?}"),
+            }
+        }
+        for e in &lb.engines {
+            assert_eq!(e.live_requests(), 0, "seed={seed}: rank {} leaked", e.rank());
+            assert!(e.memory().is_balanced());
+        }
+    }
+}
+
+#[test]
+fn stress_with_large_messages_exercises_rendezvous_and_rs() {
+    let n = 4u32;
+    let cfg = EngineConfig {
+        eager_limit: 1024,
+        allreduce_rs_threshold: 512,
+        ..EngineConfig::default()
+    };
+    let mut lb = Loopback::new(engines(n, cfg));
+    lb.shuffle_seed = Some(42);
+    let comm = lb.engines[0].world();
+    let mut all = Vec::new();
+    for round in 0..4 {
+        for r in 0..n as usize {
+            // 512 doubles = 4 KiB > eager limit -> rendezvous reduce path.
+            let big = f64s_to_bytes(&vec![(r + round) as f64; 512]);
+            all.push((r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &big)));
+            // 64 doubles = 512 B >= threshold, power-of-two n -> RS path.
+            let med = f64s_to_bytes(&vec![1.0; 64]);
+            all.push((r, lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &med)));
+        }
+    }
+    lb.run_until_complete(&all, 60_000);
+    // Spot-check one of each per round.
+    for round in 0..4usize {
+        let (r0, red) = all[round * 2 * n as usize];
+        assert_eq!(r0, 0);
+        match lb.engines[0].take_outcome(red) {
+            Some(Outcome::Data(d)) => {
+                let expect: f64 = (0..n as usize).map(|q| (q + round) as f64).sum();
+                assert!(bytes_to_f64s(&d).iter().all(|&x| x == expect), "round {round}");
+            }
+            other => panic!("round {round}: {other:?}"),
+        }
+    }
+    for e in &lb.engines {
+        assert!(e.memory().is_balanced());
+    }
+    // Every non-root rank sent its 4KB contributions via rendezvous (the
+    // root only receives in a reduce).
+    for e in &lb.engines[1..] {
+        assert!(e.stats().rndv_sent > 0, "rank {}: rendezvous path must be exercised", e.rank());
+    }
+}

@@ -1,0 +1,15 @@
+//! `app-bypass-reduction` — umbrella crate re-exporting the full stack.
+//!
+//! See the README for a tour. The layers, bottom-up:
+//!
+//! * [`abr_des`] — deterministic discrete-event simulation kernel,
+//! * [`abr_gm`] — GM/Myrinet-like messaging substrate,
+//! * [`abr_mpr`] — MPICH-like message-passing runtime (the `nab` baseline),
+//! * [`abr_core`] — application-bypass reduction (the paper's contribution),
+//! * [`abr_cluster`] — cluster harness, drivers and microbenchmarks.
+
+pub use abr_cluster as cluster;
+pub use abr_core as abred;
+pub use abr_des as des;
+pub use abr_gm as gm;
+pub use abr_mpr as mpr;

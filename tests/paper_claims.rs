@@ -1,0 +1,251 @@
+//! Integration tests asserting the paper's headline claims end-to-end,
+//! using the same machinery the figure harnesses use (smaller iteration
+//! counts; the claims are about *shape*, which converges fast).
+
+use abr_cluster::microbench::{run_cpu_util, run_latency, CpuUtilConfig, LatencyConfig, Mode};
+use abr_cluster::node::ClusterSpec;
+use abr_core::DelayPolicy;
+
+fn ab() -> Mode {
+    Mode::Bypass(DelayPolicy::None)
+}
+
+fn cpu(nodes: u32, elems: usize, skew: u64, mode: Mode) -> abr_cluster::CpuUtilResult {
+    run_cpu_util(&CpuUtilConfig {
+        elems,
+        max_skew_us: skew,
+        iters: 60,
+        ..CpuUtilConfig::new(ClusterSpec::heterogeneous(nodes), mode)
+    })
+}
+
+#[test]
+fn claim_factor_of_improvement_about_five_at_32_nodes() {
+    // §VI-A: "a maximum factor of improvement of 5.1 for four-element
+    // messages when the maximum skew is 1,000us".
+    let nab = cpu(32, 4, 1000, Mode::Baseline);
+    let abr = cpu(32, 4, 1000, ab());
+    let foi = nab.mean_cpu_us / abr.mean_cpu_us;
+    assert!(
+        (4.0..7.5).contains(&foi),
+        "FoI at 32 nodes / 4 elems / 1000us skew = {foi:.2}, expected ~5"
+    );
+}
+
+#[test]
+fn claim_improvement_increases_with_system_size() {
+    // §VI-A Fig. 7: the factor of improvement grows with node count.
+    let mut last = 0.0;
+    for nodes in [2u32, 8, 32] {
+        let nab = cpu(nodes, 4, 1000, Mode::Baseline);
+        let abr = cpu(nodes, 4, 1000, ab());
+        let foi = nab.mean_cpu_us / abr.mean_cpu_us;
+        assert!(
+            foi > last * 0.98, // monotone up to noise
+            "FoI fell from {last:.2} to {foi:.2} at {nodes} nodes"
+        );
+        last = foi;
+    }
+    assert!(last > 3.0, "FoI at 32 nodes should be large, got {last:.2}");
+}
+
+#[test]
+fn claim_improvement_greatest_for_small_messages_under_skew() {
+    // §VI-A: "the factor of improvement is greatest for small message
+    // sizes" — which matters because 95% of real reductions are <= 3
+    // elements (Moody et al.).
+    let foi = |elems| {
+        let nab = cpu(32, elems, 1000, Mode::Baseline);
+        let abr = cpu(32, elems, 1000, ab());
+        nab.mean_cpu_us / abr.mean_cpu_us
+    };
+    let small = foi(4);
+    let large = foi(128);
+    assert!(
+        small > large,
+        "FoI(4 elems)={small:.2} should exceed FoI(128 elems)={large:.2}"
+    );
+}
+
+#[test]
+fn claim_ab_consistently_outperforms_under_any_skew() {
+    // §VI-A Fig. 6: ab beats nab "for all combinations of skew and message
+    // size" (with skew present).
+    for skew in [100u64, 500, 1000] {
+        for elems in [4usize, 32, 128] {
+            let nab = cpu(16, elems, skew, Mode::Baseline);
+            let abr = cpu(16, elems, skew, ab());
+            assert!(
+                abr.mean_cpu_us < nab.mean_cpu_us,
+                "skew={skew} elems={elems}: ab {:.1} !< nab {:.1}",
+                abr.mean_cpu_us,
+                nab.mean_cpu_us
+            );
+        }
+    }
+}
+
+#[test]
+fn claim_no_skew_crossover_with_system_size() {
+    // §VI-B Fig. 8: without injected skew the baseline's cost grows with
+    // node count while ab flattens; by 32 nodes ab wins for large messages
+    // (paper: FoI up to 1.5 at 128 elems).
+    let nab_2 = cpu(2, 128, 0, Mode::Baseline);
+    let nab_32 = cpu(32, 128, 0, Mode::Baseline);
+    assert!(
+        nab_32.mean_cpu_us > nab_2.mean_cpu_us * 1.3,
+        "baseline should not scale: {:.1} -> {:.1}",
+        nab_2.mean_cpu_us,
+        nab_32.mean_cpu_us
+    );
+    let ab_32 = cpu(32, 128, 0, ab());
+    let foi = nab_32.mean_cpu_us / ab_32.mean_cpu_us;
+    assert!(
+        foi > 1.2,
+        "at 32 nodes / 128 elems / no skew, ab should win (paper: 1.5x), got {foi:.2}"
+    );
+}
+
+#[test]
+fn claim_copy_reduction_percentages() {
+    // §V: 50% fewer copies for unexpected messages, 100% for expected and
+    // late ones. Audit via counters: every bypassed child is either
+    // zero-copy (late/expected) or single-copy (early), never the 1-2
+    // copies of the stock path.
+    let r = cpu(16, 32, 500, ab());
+    let get = |k: &str| {
+        r.counters
+            .iter()
+            .find(|(n, _)| *n == k)
+            .map(|&(_, v)| v)
+            .unwrap_or(0)
+    };
+    let zero_copy = get("zero_copy_children");
+    let parked = get("ab_unexpected_parked");
+    let ab_handled = get("sync_children") + get("async_children");
+    assert!(zero_copy > 0, "no zero-copy children recorded");
+    assert_eq!(
+        zero_copy + parked,
+        ab_handled,
+        "every bypassed child is zero-copy or single-copy"
+    );
+    assert_eq!(get("copies_saved"), zero_copy + parked);
+}
+
+#[test]
+fn claim_baseline_never_signals_and_bypass_does() {
+    // §V-A: signals exist only for application-bypass reduction traffic.
+    // (Note signal *count* is not monotone in skew: a very late parent
+    // finds its children's messages already parked and pays no signal at
+    // all — only the baseline's polling cost grows with skew.)
+    let nab = cpu(16, 4, 1000, Mode::Baseline);
+    assert_eq!(nab.signals, 0);
+    let quiet = cpu(16, 4, 0, ab());
+    let noisy = cpu(16, 4, 1000, ab());
+    assert!(quiet.signals > 0, "even natural skew produces some signals");
+    assert!(noisy.signals > 0);
+}
+
+#[test]
+fn claim_latency_parity_at_small_scale_and_penalty_at_large() {
+    // §VI-B Fig. 9: "for small numbers of nodes, the latency of the two
+    // implementations are nearly identical... once past four, signal
+    // overhead appears".
+    let lat = |nodes, mode| {
+        run_latency(&LatencyConfig {
+            iters: 40,
+            ..LatencyConfig::new(ClusterSpec::homogeneous_700(nodes), mode)
+        })
+        .mean_latency_us
+    };
+    let nab4 = lat(4, Mode::Baseline);
+    let ab4 = lat(4, ab());
+    assert!(
+        (ab4 - nab4).abs() / nab4 < 0.08,
+        "4-node latencies should be nearly identical: {ab4:.1} vs {nab4:.1}"
+    );
+    let nab16 = lat(16, Mode::Baseline);
+    let ab16 = lat(16, ab());
+    assert!(
+        ab16 > nab16,
+        "16-node ab should pay a signal penalty: {ab16:.1} vs {nab16:.1}"
+    );
+}
+
+#[test]
+fn claim_latency_penalty_does_not_blow_up_with_message_size() {
+    // §VI-B Fig. 10: the ab latency penalty "stabilizes and remains fairly
+    // constant" with message size — in particular it must not grow.
+    let lat = |elems, mode| {
+        run_latency(&LatencyConfig {
+            elems,
+            iters: 40,
+            ..LatencyConfig::new(ClusterSpec::heterogeneous_32(), mode)
+        })
+        .mean_latency_us
+    };
+    let gap_small = lat(1, ab()) - lat(1, Mode::Baseline);
+    let gap_large = lat(128, ab()) - lat(128, Mode::Baseline);
+    assert!(gap_small > 0.0, "penalty at 1 elem: {gap_small:.1}");
+    assert!(
+        gap_large < gap_small * 1.5,
+        "penalty grew with size: {gap_small:.1} -> {gap_large:.1}"
+    );
+}
+
+#[test]
+fn extension_nic_offload_eliminates_host_signals_and_cuts_host_cpu() {
+    // §VII future work (refs [9]/[11]): performing the operation on the NIC
+    // processor frees the host entirely — no polling for late children and
+    // no signals at all — at the price of slow LANai arithmetic.
+    let nab = cpu(16, 4, 500, Mode::Baseline);
+    let abr = cpu(16, 4, 500, ab());
+    let nic = cpu(16, 4, 500, Mode::NicBypass);
+    assert_eq!(nic.signals, 0, "NIC offload must never signal the host");
+    assert!(nic.mean_cpu_us < abr.mean_cpu_us, "nic {:.1} vs ab {:.1}", nic.mean_cpu_us, abr.mean_cpu_us);
+    assert!(nic.mean_cpu_us < nab.mean_cpu_us / 2.0);
+    assert!(nic.nic_us_total > 0.0, "the NIC must have done the work instead");
+    assert_eq!(nab.nic_us_total, 0.0);
+    assert_eq!(abr.nic_us_total, 0.0);
+}
+
+#[test]
+fn extension_nic_offload_latency_crossover_with_message_size() {
+    // Ref [11] asks "is it beneficial?" — the answer depends on message
+    // size: the LANai's slow per-element arithmetic sits on the critical
+    // path, so NIC offload wins small-message latency and loses large.
+    let lat = |elems, mode| {
+        run_latency(&LatencyConfig {
+            elems,
+            iters: 40,
+            ..LatencyConfig::new(ClusterSpec::heterogeneous_32(), mode)
+        })
+        .mean_latency_us
+    };
+    assert!(
+        lat(1, Mode::NicBypass) < lat(1, ab()),
+        "at 1 element the avoided signals should win"
+    );
+    assert!(
+        lat(128, Mode::NicBypass) > lat(128, ab()),
+        "at 128 elements the slow NIC arithmetic should lose"
+    );
+}
+
+#[test]
+fn extension_split_phase_beats_plain_bypass_under_skew() {
+    // §II: "a split-phase implementation would enable optimization of the
+    // root node as well".
+    let nab = cpu(16, 4, 1000, Mode::Baseline);
+    let split = cpu(16, 4, 1000, Mode::SplitPhase);
+    let abr = cpu(16, 4, 1000, ab());
+    assert!(split.mean_cpu_us < nab.mean_cpu_us);
+    // The root no longer burns its wait polling, so split-phase should be
+    // at least competitive with plain bypass.
+    assert!(
+        split.mean_cpu_us < abr.mean_cpu_us * 1.15,
+        "split {:.1} vs ab {:.1}",
+        split.mean_cpu_us,
+        abr.mean_cpu_us
+    );
+}
