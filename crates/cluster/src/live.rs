@@ -23,7 +23,7 @@ use abr_mpr::request::Outcome;
 use abr_mpr::types::{Datatype, MprError, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
 use bytes::Bytes;
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -44,7 +44,7 @@ impl RankShared {
     /// Drain the mailbox into the engine and run `f`, then route actions.
     /// The caller must hold no engine lock.
     fn with_engine<T>(&self, f: impl FnOnce(&mut AbEngine) -> T) -> T {
-        let mut e = self.engine.lock();
+        let mut e = self.engine.lock().expect("engine lock poisoned");
         for pkt in self.mailbox.drain() {
             e.deliver(pkt);
         }
@@ -318,7 +318,7 @@ impl SplitReduce<'_> {
     /// Non-blocking completion test — no engine progress is made, so a
     /// `true` here under signal dispatch proves the bypass worked.
     pub fn test(&self) -> bool {
-        self.ctx.shared.engine.lock().test(self.req)
+        self.ctx.shared.engine.lock().expect("engine lock poisoned").test(self.req)
     }
 
     /// Wait for completion; the root gets `Some(result)`.
@@ -339,7 +339,7 @@ fn dispatcher_loop(shared: Arc<RankShared>) {
         // application bypass — and only this thread can finish it then.
         if shared.mailbox.is_closed() {
             if shared.signals_enabled.load(Ordering::SeqCst) && !shared.mailbox.is_empty() {
-                if let Some(mut e) = shared.engine.try_lock() {
+                if let Ok(mut e) = shared.engine.try_lock() {
                     for pkt in shared.mailbox.drain() {
                         e.deliver(pkt);
                     }
@@ -370,7 +370,7 @@ fn dispatcher_loop(shared: Arc<RankShared>) {
         }
         // Signal fires: try to enter the progress engine. A held lock means
         // progress is already underway — the signal is simply ignored.
-        if let Some(mut e) = shared.engine.try_lock() {
+        if let Ok(mut e) = shared.engine.try_lock() {
             let mut any_collective = false;
             for pkt in shared.mailbox.drain() {
                 any_collective |= pkt.header.kind == PacketKind::Collective;

@@ -2,7 +2,7 @@
 //! interleaved across ranks under packet reordering and link deferral,
 //! checked against locally computed expectations.
 
-use abr_mpr::engine::{Engine, EngineConfig};
+use abr_mpr::engine::EngineConfig;
 use abr_mpr::request::Outcome;
 use abr_mpr::testutil::{engines, Loopback};
 use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ab_tests-82c889ac114013af.d: crates/core/tests/ab_tests.rs
+
+/root/repo/target/debug/deps/ab_tests-82c889ac114013af: crates/core/tests/ab_tests.rs
+
+crates/core/tests/ab_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-fd115eb5590a9c20.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-fd115eb5590a9c20: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/abr_bench-1ab2e02bfd3bd634.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libabr_bench-1ab2e02bfd3bd634.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/libabr_bench-1ab2e02bfd3bd634.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

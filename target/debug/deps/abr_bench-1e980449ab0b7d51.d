@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/abr_bench-1e980449ab0b7d51.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/debug/deps/abr_bench-1e980449ab0b7d51: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/abr_cluster-3c6594f00f042dd0.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+/root/repo/target/debug/deps/abr_cluster-3c6594f00f042dd0: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/live.rs:
+crates/cluster/src/microbench.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/program.rs:
+crates/cluster/src/report.rs:

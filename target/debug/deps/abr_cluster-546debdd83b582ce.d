@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/abr_cluster-546debdd83b582ce.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+/root/repo/target/debug/deps/libabr_cluster-546debdd83b582ce.rlib: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+/root/repo/target/debug/deps/libabr_cluster-546debdd83b582ce.rmeta: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/live.rs:
+crates/cluster/src/microbench.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/program.rs:
+crates/cluster/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/abr_core-e645d5d61cc90625.d: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+/root/repo/target/debug/deps/libabr_core-e645d5d61cc90625.rlib: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+/root/repo/target/debug/deps/libabr_core-e645d5d61cc90625.rmeta: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bcast.rs:
+crates/core/src/delay.rs:
+crates/core/src/descriptor.rs:
+crates/core/src/engine.rs:
+crates/core/src/stats.rs:
+crates/core/src/unexpected.rs:

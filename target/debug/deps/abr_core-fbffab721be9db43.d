@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/abr_core-fbffab721be9db43.d: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+/root/repo/target/debug/deps/abr_core-fbffab721be9db43: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bcast.rs:
+crates/core/src/delay.rs:
+crates/core/src/descriptor.rs:
+crates/core/src/engine.rs:
+crates/core/src/stats.rs:
+crates/core/src/unexpected.rs:

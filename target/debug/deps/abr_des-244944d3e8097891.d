@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/abr_des-244944d3e8097891.d: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libabr_des-244944d3e8097891.rlib: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/libabr_des-244944d3e8097891.rmeta: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/event.rs:
+crates/des/src/meter.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/abr_des-c410ed6180d3c47b.d: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/debug/deps/abr_des-c410ed6180d3c47b: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/event.rs:
+crates/des/src/meter.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/abr_gm-363b32efba29f6d3.d: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+/root/repo/target/debug/deps/abr_gm-363b32efba29f6d3: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+crates/gm/src/lib.rs:
+crates/gm/src/cost.rs:
+crates/gm/src/live.rs:
+crates/gm/src/memory.rs:
+crates/gm/src/nic.rs:
+crates/gm/src/packet.rs:
+crates/gm/src/signal.rs:

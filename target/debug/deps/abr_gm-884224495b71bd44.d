@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/abr_gm-884224495b71bd44.d: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+/root/repo/target/debug/deps/libabr_gm-884224495b71bd44.rlib: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+/root/repo/target/debug/deps/libabr_gm-884224495b71bd44.rmeta: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+crates/gm/src/lib.rs:
+crates/gm/src/cost.rs:
+crates/gm/src/live.rs:
+crates/gm/src/memory.rs:
+crates/gm/src/nic.rs:
+crates/gm/src/packet.rs:
+crates/gm/src/signal.rs:

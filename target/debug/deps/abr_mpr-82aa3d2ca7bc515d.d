@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/abr_mpr-82aa3d2ca7bc515d.d: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+/root/repo/target/debug/deps/libabr_mpr-82aa3d2ca7bc515d.rlib: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+/root/repo/target/debug/deps/libabr_mpr-82aa3d2ca7bc515d.rmeta: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+crates/mpr/src/lib.rs:
+crates/mpr/src/charge.rs:
+crates/mpr/src/coll.rs:
+crates/mpr/src/comm.rs:
+crates/mpr/src/engine.rs:
+crates/mpr/src/matchq.rs:
+crates/mpr/src/op.rs:
+crates/mpr/src/request.rs:
+crates/mpr/src/testutil.rs:
+crates/mpr/src/tree.rs:
+crates/mpr/src/types.rs:

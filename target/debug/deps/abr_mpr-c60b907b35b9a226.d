@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/abr_mpr-c60b907b35b9a226.d: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+/root/repo/target/debug/deps/abr_mpr-c60b907b35b9a226: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+crates/mpr/src/lib.rs:
+crates/mpr/src/charge.rs:
+crates/mpr/src/coll.rs:
+crates/mpr/src/comm.rs:
+crates/mpr/src/engine.rs:
+crates/mpr/src/matchq.rs:
+crates/mpr/src/op.rs:
+crates/mpr/src/request.rs:
+crates/mpr/src/testutil.rs:
+crates/mpr/src/tree.rs:
+crates/mpr/src/types.rs:

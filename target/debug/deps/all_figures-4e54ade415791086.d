@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/all_figures-4e54ade415791086.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/debug/deps/all_figures-4e54ade415791086: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/allreduce_split_tests-29e3c716cee20d6c.d: crates/core/tests/allreduce_split_tests.rs
+
+/root/repo/target/debug/deps/allreduce_split_tests-29e3c716cee20d6c: crates/core/tests/allreduce_split_tests.rs
+
+crates/core/tests/allreduce_split_tests.rs:

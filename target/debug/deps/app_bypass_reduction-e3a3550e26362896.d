@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/app_bypass_reduction-e3a3550e26362896.d: src/lib.rs
+
+/root/repo/target/debug/deps/app_bypass_reduction-e3a3550e26362896: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/app_bypass_reduction-fc603a88ab7e35cc.d: src/lib.rs
+
+/root/repo/target/debug/deps/libapp_bypass_reduction-fc603a88ab7e35cc.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libapp_bypass_reduction-fc603a88ab7e35cc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bcast_tests-0716ba9bd0d60adc.d: crates/core/tests/bcast_tests.rs
+
+/root/repo/target/debug/deps/bcast_tests-0716ba9bd0d60adc: crates/core/tests/bcast_tests.rs
+
+crates/core/tests/bcast_tests.rs:

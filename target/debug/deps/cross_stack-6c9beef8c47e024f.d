@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/cross_stack-6c9beef8c47e024f.d: tests/cross_stack.rs
+
+/root/repo/target/debug/deps/cross_stack-6c9beef8c47e024f: tests/cross_stack.rs
+
+tests/cross_stack.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/driver_tests-e2c3d53cfc0f923d.d: crates/cluster/tests/driver_tests.rs
+
+/root/repo/target/debug/deps/driver_tests-e2c3d53cfc0f923d: crates/cluster/tests/driver_tests.rs
+
+crates/cluster/tests/driver_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine_tests-3a4e26c1a1fb718e.d: crates/mpr/tests/engine_tests.rs
+
+/root/repo/target/debug/deps/engine_tests-3a4e26c1a1fb718e: crates/mpr/tests/engine_tests.rs
+
+crates/mpr/tests/engine_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-79b41f1406aa7c82.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-79b41f1406aa7c82: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

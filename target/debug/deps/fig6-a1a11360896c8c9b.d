@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-a1a11360896c8c9b.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-a1a11360896c8c9b: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

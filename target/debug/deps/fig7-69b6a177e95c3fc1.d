@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-69b6a177e95c3fc1.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-69b6a177e95c3fc1: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

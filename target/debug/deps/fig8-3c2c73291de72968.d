@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig8-3c2c73291de72968.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/debug/deps/fig8-3c2c73291de72968: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

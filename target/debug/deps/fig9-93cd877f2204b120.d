@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-93cd877f2204b120.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-93cd877f2204b120: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gather_scatter_tests-664b52967ab91238.d: crates/mpr/tests/gather_scatter_tests.rs
+
+/root/repo/target/debug/deps/gather_scatter_tests-664b52967ab91238: crates/mpr/tests/gather_scatter_tests.rs
+
+crates/mpr/tests/gather_scatter_tests.rs:

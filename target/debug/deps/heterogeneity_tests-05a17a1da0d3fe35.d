@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/heterogeneity_tests-05a17a1da0d3fe35.d: crates/cluster/tests/heterogeneity_tests.rs
+
+/root/repo/target/debug/deps/heterogeneity_tests-05a17a1da0d3fe35: crates/cluster/tests/heterogeneity_tests.rs
+
+crates/cluster/tests/heterogeneity_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nic_and_modes_tests-8361314e2b8bab1b.d: crates/cluster/tests/nic_and_modes_tests.rs
+
+/root/repo/target/debug/deps/nic_and_modes_tests-8361314e2b8bab1b: crates/cluster/tests/nic_and_modes_tests.rs
+
+crates/cluster/tests/nic_and_modes_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nic_offload_tests-6290c0456bf3daa8.d: crates/core/tests/nic_offload_tests.rs
+
+/root/repo/target/debug/deps/nic_offload_tests-6290c0456bf3daa8: crates/core/tests/nic_offload_tests.rs
+
+crates/core/tests/nic_offload_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_claims-bad5dd9419505f35.d: tests/paper_claims.rs
+
+/root/repo/target/debug/deps/paper_claims-bad5dd9419505f35: tests/paper_claims.rs
+
+tests/paper_claims.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_ab-cfa23aa33a9a2da3.d: crates/core/tests/proptest_ab.rs
+
+/root/repo/target/debug/deps/proptest_ab-cfa23aa33a9a2da3: crates/core/tests/proptest_ab.rs
+
+crates/core/tests/proptest_ab.rs:

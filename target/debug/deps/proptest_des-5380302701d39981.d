@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_des-5380302701d39981.d: crates/des/tests/proptest_des.rs
+
+/root/repo/target/debug/deps/proptest_des-5380302701d39981: crates/des/tests/proptest_des.rs
+
+crates/des/tests/proptest_des.rs:

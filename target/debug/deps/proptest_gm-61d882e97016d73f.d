@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_gm-61d882e97016d73f.d: crates/gm/tests/proptest_gm.rs
+
+/root/repo/target/debug/deps/proptest_gm-61d882e97016d73f: crates/gm/tests/proptest_gm.rs
+
+crates/gm/tests/proptest_gm.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_mpr-098fb87c63132c96.d: crates/mpr/tests/proptest_mpr.rs
+
+/root/repo/target/debug/deps/proptest_mpr-098fb87c63132c96: crates/mpr/tests/proptest_mpr.rs
+
+crates/mpr/tests/proptest_mpr.rs:

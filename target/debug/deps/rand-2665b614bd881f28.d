@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-2665b614bd881f28.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-2665b614bd881f28: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand-bd9239a6fe82b849.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bd9239a6fe82b849.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/librand-bd9239a6fe82b849.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rs_allreduce_tests-b071b4d81114f731.d: crates/mpr/tests/rs_allreduce_tests.rs
+
+/root/repo/target/debug/deps/rs_allreduce_tests-b071b4d81114f731: crates/mpr/tests/rs_allreduce_tests.rs
+
+crates/mpr/tests/rs_allreduce_tests.rs:

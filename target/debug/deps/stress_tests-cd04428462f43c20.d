@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stress_tests-cd04428462f43c20.d: crates/mpr/tests/stress_tests.rs
+
+/root/repo/target/debug/deps/stress_tests-cd04428462f43c20: crates/mpr/tests/stress_tests.rs
+
+crates/mpr/tests/stress_tests.rs:

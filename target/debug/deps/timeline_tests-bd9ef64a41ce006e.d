@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/timeline_tests-bd9ef64a41ce006e.d: crates/cluster/tests/timeline_tests.rs
+
+/root/repo/target/debug/deps/timeline_tests-bd9ef64a41ce006e: crates/cluster/tests/timeline_tests.rs
+
+crates/cluster/tests/timeline_tests.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/fig2_timeline-7b4b9c6a885e0f0b.d: examples/fig2_timeline.rs
+
+/root/repo/target/debug/examples/fig2_timeline-7b4b9c6a885e0f0b: examples/fig2_timeline.rs
+
+examples/fig2_timeline.rs:

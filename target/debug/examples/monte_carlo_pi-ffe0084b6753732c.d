@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monte_carlo_pi-ffe0084b6753732c.d: examples/monte_carlo_pi.rs
+
+/root/repo/target/debug/examples/monte_carlo_pi-ffe0084b6753732c: examples/monte_carlo_pi.rs
+
+examples/monte_carlo_pi.rs:

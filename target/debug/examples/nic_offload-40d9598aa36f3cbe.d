@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/nic_offload-40d9598aa36f3cbe.d: examples/nic_offload.rs
+
+/root/repo/target/debug/examples/nic_offload-40d9598aa36f3cbe: examples/nic_offload.rs
+
+examples/nic_offload.rs:

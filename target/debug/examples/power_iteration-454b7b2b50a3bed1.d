@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/power_iteration-454b7b2b50a3bed1.d: examples/power_iteration.rs
+
+/root/repo/target/debug/examples/power_iteration-454b7b2b50a3bed1: examples/power_iteration.rs
+
+examples/power_iteration.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0e36ca065ca2992f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0e36ca065ca2992f: examples/quickstart.rs
+
+examples/quickstart.rs:

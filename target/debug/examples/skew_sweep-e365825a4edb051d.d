@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skew_sweep-e365825a4edb051d.d: examples/skew_sweep.rs
+
+/root/repo/target/debug/examples/skew_sweep-e365825a4edb051d: examples/skew_sweep.rs
+
+examples/skew_sweep.rs:

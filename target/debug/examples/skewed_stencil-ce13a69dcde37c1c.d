@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/skewed_stencil-ce13a69dcde37c1c.d: examples/skewed_stencil.rs
+
+/root/repo/target/debug/examples/skewed_stencil-ce13a69dcde37c1c: examples/skewed_stencil.rs
+
+examples/skewed_stencil.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1971812afa913318.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1971812afa913318: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

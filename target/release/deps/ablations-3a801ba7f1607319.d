@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-3a801ba7f1607319.d: crates/bench/benches/ablations.rs
+
+/root/repo/target/release/deps/ablations-3a801ba7f1607319: crates/bench/benches/ablations.rs
+
+crates/bench/benches/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-64526c541c945258.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-64526c541c945258: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

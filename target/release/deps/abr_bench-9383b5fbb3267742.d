@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/abr_bench-9383b5fbb3267742.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/abr_bench-9383b5fbb3267742: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

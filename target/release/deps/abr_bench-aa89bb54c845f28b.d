@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/abr_bench-aa89bb54c845f28b.d: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libabr_bench-aa89bb54c845f28b.rlib: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+/root/repo/target/release/deps/libabr_bench-aa89bb54c845f28b.rmeta: crates/bench/src/lib.rs crates/bench/src/figures.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/figures.rs:

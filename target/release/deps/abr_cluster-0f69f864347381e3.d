@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/abr_cluster-0f69f864347381e3.d: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+/root/repo/target/release/deps/libabr_cluster-0f69f864347381e3.rlib: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+/root/repo/target/release/deps/libabr_cluster-0f69f864347381e3.rmeta: crates/cluster/src/lib.rs crates/cluster/src/driver.rs crates/cluster/src/live.rs crates/cluster/src/microbench.rs crates/cluster/src/node.rs crates/cluster/src/program.rs crates/cluster/src/report.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/driver.rs:
+crates/cluster/src/live.rs:
+crates/cluster/src/microbench.rs:
+crates/cluster/src/node.rs:
+crates/cluster/src/program.rs:
+crates/cluster/src/report.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/abr_core-7033a7739e4c3c22.d: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+/root/repo/target/release/deps/libabr_core-7033a7739e4c3c22.rlib: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+/root/repo/target/release/deps/libabr_core-7033a7739e4c3c22.rmeta: crates/core/src/lib.rs crates/core/src/bcast.rs crates/core/src/delay.rs crates/core/src/descriptor.rs crates/core/src/engine.rs crates/core/src/stats.rs crates/core/src/unexpected.rs
+
+crates/core/src/lib.rs:
+crates/core/src/bcast.rs:
+crates/core/src/delay.rs:
+crates/core/src/descriptor.rs:
+crates/core/src/engine.rs:
+crates/core/src/stats.rs:
+crates/core/src/unexpected.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/abr_des-78b30648390a8bdb.d: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libabr_des-78b30648390a8bdb.rlib: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+/root/repo/target/release/deps/libabr_des-78b30648390a8bdb.rmeta: crates/des/src/lib.rs crates/des/src/event.rs crates/des/src/meter.rs crates/des/src/rng.rs crates/des/src/stats.rs crates/des/src/time.rs
+
+crates/des/src/lib.rs:
+crates/des/src/event.rs:
+crates/des/src/meter.rs:
+crates/des/src/rng.rs:
+crates/des/src/stats.rs:
+crates/des/src/time.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/abr_gm-21018cee398ace8a.d: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+/root/repo/target/release/deps/libabr_gm-21018cee398ace8a.rlib: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+/root/repo/target/release/deps/libabr_gm-21018cee398ace8a.rmeta: crates/gm/src/lib.rs crates/gm/src/cost.rs crates/gm/src/live.rs crates/gm/src/memory.rs crates/gm/src/nic.rs crates/gm/src/packet.rs crates/gm/src/signal.rs
+
+crates/gm/src/lib.rs:
+crates/gm/src/cost.rs:
+crates/gm/src/live.rs:
+crates/gm/src/memory.rs:
+crates/gm/src/nic.rs:
+crates/gm/src/packet.rs:
+crates/gm/src/signal.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/abr_mpr-8b9f2e1277c2cf16.d: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+/root/repo/target/release/deps/libabr_mpr-8b9f2e1277c2cf16.rlib: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+/root/repo/target/release/deps/libabr_mpr-8b9f2e1277c2cf16.rmeta: crates/mpr/src/lib.rs crates/mpr/src/charge.rs crates/mpr/src/coll.rs crates/mpr/src/comm.rs crates/mpr/src/engine.rs crates/mpr/src/matchq.rs crates/mpr/src/op.rs crates/mpr/src/request.rs crates/mpr/src/testutil.rs crates/mpr/src/tree.rs crates/mpr/src/types.rs
+
+crates/mpr/src/lib.rs:
+crates/mpr/src/charge.rs:
+crates/mpr/src/coll.rs:
+crates/mpr/src/comm.rs:
+crates/mpr/src/engine.rs:
+crates/mpr/src/matchq.rs:
+crates/mpr/src/op.rs:
+crates/mpr/src/request.rs:
+crates/mpr/src/testutil.rs:
+crates/mpr/src/tree.rs:
+crates/mpr/src/types.rs:

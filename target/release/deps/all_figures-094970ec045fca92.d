@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-094970ec045fca92.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-094970ec045fca92: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/all_figures-e4dcbc2cba157975.d: crates/bench/src/bin/all_figures.rs
+
+/root/repo/target/release/deps/all_figures-e4dcbc2cba157975: crates/bench/src/bin/all_figures.rs
+
+crates/bench/src/bin/all_figures.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/app_bypass_reduction-3c5c877fbdc94d00.d: src/lib.rs
+
+/root/repo/target/release/deps/app_bypass_reduction-3c5c877fbdc94d00: src/lib.rs
+
+src/lib.rs:

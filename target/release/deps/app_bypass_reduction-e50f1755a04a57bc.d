@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/app_bypass_reduction-e50f1755a04a57bc.d: src/lib.rs
+
+/root/repo/target/release/deps/libapp_bypass_reduction-e50f1755a04a57bc.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libapp_bypass_reduction-e50f1755a04a57bc.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/bytes-f41a866582f1a501.d: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f41a866582f1a501.rlib: shims/bytes/src/lib.rs
+
+/root/repo/target/release/deps/libbytes-f41a866582f1a501.rmeta: shims/bytes/src/lib.rs
+
+shims/bytes/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-6d06266c2c452f03.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-6d06266c2c452f03: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-73df18b16a5eaea4.d: crates/bench/benches/fig10.rs
+
+/root/repo/target/release/deps/fig10-73df18b16a5eaea4: crates/bench/benches/fig10.rs
+
+crates/bench/benches/fig10.rs:

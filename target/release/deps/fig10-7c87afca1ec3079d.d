@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-7c87afca1ec3079d.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-7c87afca1ec3079d: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-384812044a03a6f2.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-384812044a03a6f2: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-4ce35b22dd0fad50.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-4ce35b22dd0fad50: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

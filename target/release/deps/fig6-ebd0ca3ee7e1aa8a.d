@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-ebd0ca3ee7e1aa8a.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/release/deps/fig6-ebd0ca3ee7e1aa8a: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:

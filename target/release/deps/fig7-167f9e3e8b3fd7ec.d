@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-167f9e3e8b3fd7ec.d: crates/bench/benches/fig7.rs
+
+/root/repo/target/release/deps/fig7-167f9e3e8b3fd7ec: crates/bench/benches/fig7.rs
+
+crates/bench/benches/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-3a23fccf2dae538f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-3a23fccf2dae538f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-9fb5c563d07e537c.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-9fb5c563d07e537c: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

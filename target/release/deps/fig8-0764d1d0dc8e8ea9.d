@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-0764d1d0dc8e8ea9.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-0764d1d0dc8e8ea9: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

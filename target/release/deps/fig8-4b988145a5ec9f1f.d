@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-4b988145a5ec9f1f.d: crates/bench/src/bin/fig8.rs
+
+/root/repo/target/release/deps/fig8-4b988145a5ec9f1f: crates/bench/src/bin/fig8.rs
+
+crates/bench/src/bin/fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig8-5ba8174779be4608.d: crates/bench/benches/fig8.rs
+
+/root/repo/target/release/deps/fig8-5ba8174779be4608: crates/bench/benches/fig8.rs
+
+crates/bench/benches/fig8.rs:

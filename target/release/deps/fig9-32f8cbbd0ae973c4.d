@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-32f8cbbd0ae973c4.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-32f8cbbd0ae973c4: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

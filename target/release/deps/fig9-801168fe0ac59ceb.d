@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-801168fe0ac59ceb.d: crates/bench/benches/fig9.rs
+
+/root/repo/target/release/deps/fig9-801168fe0ac59ceb: crates/bench/benches/fig9.rs
+
+crates/bench/benches/fig9.rs:

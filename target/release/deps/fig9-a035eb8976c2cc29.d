@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-a035eb8976c2cc29.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-a035eb8976c2cc29: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/hot_paths-fc45d6fc8c82308f.d: crates/bench/benches/hot_paths.rs
+
+/root/repo/target/release/deps/hot_paths-fc45d6fc8c82308f: crates/bench/benches/hot_paths.rs
+
+crates/bench/benches/hot_paths.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-65143337b60447a5.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-65143337b60447a5.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-65143337b60447a5.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

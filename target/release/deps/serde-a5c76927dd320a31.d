@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde-a5c76927dd320a31.d: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a5c76927dd320a31.rlib: shims/serde/src/lib.rs
+
+/root/repo/target/release/deps/libserde-a5c76927dd320a31.rmeta: shims/serde/src/lib.rs
+
+shims/serde/src/lib.rs:
