@@ -7,7 +7,7 @@ use abr_cluster::microbench::{run_cpu_util, CpuUtilConfig, Mode};
 use abr_cluster::node::ClusterSpec;
 use abr_core::DelayPolicy;
 use abr_des::{EventQueue, SimTime};
-use abr_mpr::engine::EngineConfig;
+use abr_mpr::engine::{Action, EngineConfig};
 use abr_mpr::matchq::{MsgKey, PostedQueue, PostedRecv, UnexpectedQueue};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::testutil::{engines, Loopback};
@@ -56,6 +56,71 @@ fn bench_ops(c: &mut Criterion) {
 }
 
 fn bench_matchq(c: &mut Criterion) {
+    // Deep exact matching: every take scans past all earlier-posted recvs
+    // under the linear-scan implementation, so this is quadratic there and
+    // linear with per-(tag, src) FIFO buckets.
+    c.bench_function("matchq/post_and_match_512", |b| {
+        b.iter(|| {
+            let mut q = PostedQueue::new();
+            for i in 0..512 {
+                q.post(PostedRecv {
+                    id: ReqId::from_raw(i),
+                    src: Some(i as u32),
+                    tag: TagSel::Is(i as i32),
+                    context: 0,
+                    capacity: 64,
+                    expect_coll_seq: None,
+                });
+            }
+            for i in (0..512).rev() {
+                let hit = q.take_match(&MsgKey {
+                    src: i as u32,
+                    tag: i,
+                    context: 0,
+                });
+                black_box(hit);
+            }
+        })
+    });
+    c.bench_function("matchq/unexpected_deep_512", |b| {
+        b.iter(|| {
+            let mut q = UnexpectedQueue::new();
+            for i in 0..512u32 {
+                q.push(abr_mpr::matchq::UnexpectedMsg {
+                    src: i,
+                    tag: i as i32,
+                    context: 0,
+                    kind: abr_gm::packet::PacketKind::Eager,
+                    coll_seq: 0,
+                    data: bytes::Bytes::new(),
+                    msg_len: 0,
+                });
+            }
+            for i in (0..512u32).rev() {
+                black_box(q.take_match(Some(i), TagSel::Is(i as i32), 0));
+            }
+        })
+    });
+    // Wildcard receives must still honour global arrival order.
+    c.bench_function("matchq/unexpected_wildcard_256", |b| {
+        b.iter(|| {
+            let mut q = UnexpectedQueue::new();
+            for i in 0..256u32 {
+                q.push(abr_mpr::matchq::UnexpectedMsg {
+                    src: i,
+                    tag: i as i32,
+                    context: 0,
+                    kind: abr_gm::packet::PacketKind::Eager,
+                    coll_seq: 0,
+                    data: bytes::Bytes::new(),
+                    msg_len: 0,
+                });
+            }
+            for _ in 0..256 {
+                black_box(q.take_match(None, TagSel::Any, 0));
+            }
+        })
+    });
     c.bench_function("matchq/post_and_match_64", |b| {
         b.iter(|| {
             let mut q = PostedQueue::new();
@@ -101,6 +166,30 @@ fn bench_matchq(c: &mut Criterion) {
 }
 
 fn bench_event_queue(c: &mut Criterion) {
+    // Preemption churn: a fixed set of in-flight completions is repeatedly
+    // cancelled and rescheduled, the pattern the cluster driver hits every
+    // time a signal handler steals the CPU from a busy loop.
+    c.bench_function("des/event_queue_cancel_churn", |b| {
+        b.iter(|| {
+            let mut q: EventQueue<u64> = EventQueue::new();
+            let mut ids = Vec::with_capacity(256);
+            for i in 0..256u64 {
+                ids.push(q.schedule(SimTime::from_nanos(1_000 + i), i));
+            }
+            let mut t = 2_000u64;
+            for round in 0..4_096u64 {
+                let victim = (round % 256) as usize;
+                q.cancel(ids[victim]);
+                ids[victim] = q.schedule(SimTime::from_nanos(t), round);
+                t += 3;
+            }
+            let mut acc = 0u64;
+            while let Some(e) = q.pop() {
+                acc = acc.wrapping_add(e.payload);
+            }
+            acc
+        })
+    });
     c.bench_function("des/event_queue_10k", |b| {
         b.iter(|| {
             let mut q: EventQueue<u64> = EventQueue::new();
@@ -126,11 +215,38 @@ fn bench_loopback_reduce(c: &mut Criterion) {
             let reqs: Vec<_> = (0..16usize)
                 .map(|r| {
                     let data = f64s_to_bytes(&vec![r as f64; 32]);
-                    (r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data))
+                    (
+                        r,
+                        lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data),
+                    )
                 })
                 .collect();
             lb.run_until_complete(&reqs, 2000);
             black_box(lb.engines[0].take_outcome(reqs[0].1))
+        })
+    });
+    g.finish();
+}
+
+fn bench_drain_actions(c: &mut Criterion) {
+    // Models the driver's per-progress-call action collection: every send
+    // enqueues an action that the driver immediately drains into its own
+    // working buffer.
+    let mut g = c.benchmark_group("engine");
+    g.bench_function("drain_actions_churn_64", |b| {
+        let payload: bytes::Bytes = f64s_to_bytes(&[1.0; 4]).into();
+        b.iter(|| {
+            let mut lb = Loopback::new(engines(2, EngineConfig::default()));
+            let comm = lb.engines[0].world();
+            let mut out: Vec<Action> = Vec::new();
+            let mut total = 0usize;
+            for i in 0..64 {
+                lb.engines[0].isend(&comm, 1, i, payload.clone());
+                lb.engines[0].drain_actions_into(&mut out);
+                total += out.len();
+                out.clear();
+            }
+            total
         })
     });
     g.finish();
@@ -163,6 +279,7 @@ criterion_group!(
     bench_matchq,
     bench_event_queue,
     bench_loopback_reduce,
+    bench_drain_actions,
     bench_simulated_iteration
 );
 criterion_main!(benches);

@@ -1,11 +1,16 @@
 //! Per-figure data generation.
+//!
+//! Every figure is a *sweep*: a flat list of independent config points
+//! (each a complete, seeded simulation) evaluated via
+//! [`abr_cluster::sweep::Sweep`], then assembled into tables in a fixed
+//! order. Points run in parallel when `ABR_JOBS` (or the core count)
+//! allows; because every point is a pure function of its config, the
+//! emitted tables are bit-identical at any worker count.
 
-use abr_cluster::microbench::{
-    run_app_bench, run_bcast_util, run_cpu_util, run_latency, AppBenchConfig, CpuUtilConfig,
-    LatencyConfig, Mode,
-};
+use abr_cluster::microbench::{AppBenchConfig, CpuUtilConfig, LatencyConfig, Mode};
 use abr_cluster::node::ClusterSpec;
 use abr_cluster::report::{f2, ratio, Table};
+use abr_cluster::sweep::{RunOut, RunSpec, Sweep};
 use abr_core::DelayPolicy;
 use abr_gm::cost::CostModel;
 
@@ -16,36 +21,70 @@ fn ab_mode() -> Mode {
     Mode::Bypass(DelayPolicy::None)
 }
 
-fn cpu_cell(cluster: ClusterSpec, elems: usize, skew: u64, iters: u64, mode: Mode) -> f64 {
-    let cfg = CpuUtilConfig {
+fn sweep() -> Sweep {
+    Sweep::from_env()
+}
+
+fn cpu_spec(cluster: ClusterSpec, elems: usize, skew: u64, iters: u64, mode: Mode) -> RunSpec {
+    RunSpec::Cpu(CpuUtilConfig {
         elems,
         max_skew_us: skew,
         iters,
         mode,
         ..CpuUtilConfig::new(cluster, mode)
-    };
-    run_cpu_util(&cfg).mean_cpu_us
+    })
+}
+
+fn lat_spec(cluster: ClusterSpec, elems: usize, iters: u64, mode: Mode) -> RunSpec {
+    RunSpec::Latency(LatencyConfig {
+        elems,
+        iters,
+        mode,
+        ..LatencyConfig::new(cluster, mode)
+    })
+}
+
+fn mean_cpu(out: &RunOut) -> f64 {
+    out.cpu().mean_cpu_us
+}
+
+fn mean_latency(out: &RunOut) -> f64 {
+    out.latency().mean_latency_us
 }
 
 /// Fig. 6: average CPU utilization (a) and factor of improvement (b) for 32
 /// nodes, skew 0..1000 µs, 4/32/128-element double-word messages.
 pub fn fig6(iters: u64) -> Vec<Table> {
     let skews: Vec<u64> = (0..=1000).step_by(100).collect();
+    let mut specs = Vec::new();
+    for &skew in &skews {
+        for mode in [Mode::Baseline, ab_mode()] {
+            for &e in &ELEMS {
+                specs.push(cpu_spec(
+                    ClusterSpec::heterogeneous_32(),
+                    e,
+                    skew,
+                    iters,
+                    mode,
+                ));
+            }
+        }
+    }
+    let out = sweep().run_points(&specs);
     let mut t_util = Table::new(
         "Fig 6a: Average CPU utilization vs max skew (32 nodes, us)",
-        &["skew_us", "nab-4", "nab-32", "nab-128", "ab-4", "ab-32", "ab-128"],
+        &[
+            "skew_us", "nab-4", "nab-32", "nab-128", "ab-4", "ab-32", "ab-128",
+        ],
     );
     let mut t_foi = Table::new(
         "Fig 6b: Factor of improvement vs max skew (32 nodes)",
         &["skew_us", "foi-4", "foi-32", "foi-128"],
     );
-    for &skew in &skews {
-        let mut nab = Vec::new();
-        let mut ab = Vec::new();
-        for &e in &ELEMS {
-            nab.push(cpu_cell(ClusterSpec::heterogeneous_32(), e, skew, iters, Mode::Baseline));
-            ab.push(cpu_cell(ClusterSpec::heterogeneous_32(), e, skew, iters, ab_mode()));
-        }
+    for (row, &skew) in skews.iter().enumerate() {
+        let cells = &out[row * 6..row * 6 + 6];
+        let nab: Vec<f64> = cells[..3].iter().map(mean_cpu).collect();
+        let ab: Vec<f64> = cells[3..].iter().map(mean_cpu).collect();
         t_util.row(vec![
             skew.to_string(),
             f2(nab[0]),
@@ -77,28 +116,36 @@ pub fn fig8(iters: u64) -> Vec<Table> {
     node_sweep_tables(iters, 0, "Fig 8a", "Fig 8b", "no injected skew")
 }
 
-fn node_sweep_tables(
-    iters: u64,
-    skew: u64,
-    a_name: &str,
-    b_name: &str,
-    what: &str,
-) -> Vec<Table> {
+fn node_sweep_tables(iters: u64, skew: u64, a_name: &str, b_name: &str, what: &str) -> Vec<Table> {
+    let mut specs = Vec::new();
+    for &n in &NODE_SWEEP {
+        for mode in [Mode::Baseline, ab_mode()] {
+            for &e in &ELEMS {
+                specs.push(cpu_spec(
+                    ClusterSpec::heterogeneous(n),
+                    e,
+                    skew,
+                    iters,
+                    mode,
+                ));
+            }
+        }
+    }
+    let out = sweep().run_points(&specs);
     let mut t_util = Table::new(
         format!("{a_name}: Average CPU utilization vs nodes ({what}, us)"),
-        &["nodes", "nab-4", "nab-32", "nab-128", "ab-4", "ab-32", "ab-128"],
+        &[
+            "nodes", "nab-4", "nab-32", "nab-128", "ab-4", "ab-32", "ab-128",
+        ],
     );
     let mut t_foi = Table::new(
         format!("{b_name}: Factor of improvement vs nodes ({what})"),
         &["nodes", "foi-4", "foi-32", "foi-128"],
     );
-    for &n in &NODE_SWEEP {
-        let mut nab = Vec::new();
-        let mut ab = Vec::new();
-        for &e in &ELEMS {
-            nab.push(cpu_cell(ClusterSpec::heterogeneous(n), e, skew, iters, Mode::Baseline));
-            ab.push(cpu_cell(ClusterSpec::heterogeneous(n), e, skew, iters, ab_mode()));
-        }
+    for (row, &n) in NODE_SWEEP.iter().enumerate() {
+        let cells = &out[row * 6..row * 6 + 6];
+        let nab: Vec<f64> = cells[..3].iter().map(mean_cpu).collect();
+        let ab: Vec<f64> = cells[3..].iter().map(mean_cpu).collect();
         t_util.row(vec![
             n.to_string(),
             f2(nab[0]),
@@ -118,36 +165,53 @@ fn node_sweep_tables(
     vec![t_util, t_foi]
 }
 
-fn latency_cell(cluster: ClusterSpec, elems: usize, iters: u64, mode: Mode) -> f64 {
-    let cfg = LatencyConfig {
-        elems,
-        iters,
-        mode,
-        ..LatencyConfig::new(cluster, mode)
-    };
-    run_latency(&cfg).mean_latency_us
-}
-
 /// Fig. 9: reduction latency vs node count without skew, single-element
 /// messages: (a) the heterogeneous 32-node cluster, (b) the homogeneous
 /// 16-node 700-MHz cluster.
 pub fn fig9(iters: u64) -> Vec<Table> {
+    const HOM_SWEEP: [u32; 4] = [2, 4, 8, 16];
+    let mut specs = Vec::new();
+    for &n in &NODE_SWEEP {
+        specs.push(lat_spec(
+            ClusterSpec::heterogeneous(n),
+            1,
+            iters,
+            Mode::Baseline,
+        ));
+        specs.push(lat_spec(ClusterSpec::heterogeneous(n), 1, iters, ab_mode()));
+    }
+    for &n in &HOM_SWEEP {
+        specs.push(lat_spec(
+            ClusterSpec::homogeneous_700(n),
+            1,
+            iters,
+            Mode::Baseline,
+        ));
+        specs.push(lat_spec(
+            ClusterSpec::homogeneous_700(n),
+            1,
+            iters,
+            ab_mode(),
+        ));
+    }
+    let out = sweep().run_points(&specs);
     let mut t_het = Table::new(
         "Fig 9a: Latency vs nodes, heterogeneous cluster (1 elem, us)",
         &["nodes", "nab", "ab"],
     );
-    for &n in &NODE_SWEEP {
-        let nab = latency_cell(ClusterSpec::heterogeneous(n), 1, iters, Mode::Baseline);
-        let ab = latency_cell(ClusterSpec::heterogeneous(n), 1, iters, ab_mode());
+    for (row, &n) in NODE_SWEEP.iter().enumerate() {
+        let nab = mean_latency(&out[row * 2]);
+        let ab = mean_latency(&out[row * 2 + 1]);
         t_het.row(vec![n.to_string(), f2(nab), f2(ab)]);
     }
     let mut t_hom = Table::new(
         "Fig 9b: Latency vs nodes, homogeneous 700-MHz cluster (1 elem, us)",
         &["nodes", "nab", "ab"],
     );
-    for &n in &[2u32, 4, 8, 16] {
-        let nab = latency_cell(ClusterSpec::homogeneous_700(n), 1, iters, Mode::Baseline);
-        let ab = latency_cell(ClusterSpec::homogeneous_700(n), 1, iters, ab_mode());
+    let base = NODE_SWEEP.len() * 2;
+    for (row, &n) in HOM_SWEEP.iter().enumerate() {
+        let nab = mean_latency(&out[base + row * 2]);
+        let ab = mean_latency(&out[base + row * 2 + 1]);
         t_hom.row(vec![n.to_string(), f2(nab), f2(ab)]);
     }
     vec![t_het, t_hom]
@@ -156,13 +220,30 @@ pub fn fig9(iters: u64) -> Vec<Table> {
 /// Fig. 10: reduction latency vs message size (1..128 double words) on the
 /// 32-node heterogeneous cluster, no skew.
 pub fn fig10(iters: u64) -> Vec<Table> {
+    const SIZES: [usize; 8] = [1, 2, 4, 8, 16, 32, 64, 128];
+    let mut specs = Vec::new();
+    for &e in &SIZES {
+        specs.push(lat_spec(
+            ClusterSpec::heterogeneous_32(),
+            e,
+            iters,
+            Mode::Baseline,
+        ));
+        specs.push(lat_spec(
+            ClusterSpec::heterogeneous_32(),
+            e,
+            iters,
+            ab_mode(),
+        ));
+    }
+    let out = sweep().run_points(&specs);
     let mut t = Table::new(
         "Fig 10: Latency vs message size (32 nodes, us)",
         &["elems", "nab", "ab", "ab-nab"],
     );
-    for &e in &[1usize, 2, 4, 8, 16, 32, 64, 128] {
-        let nab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, Mode::Baseline);
-        let ab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, ab_mode());
+    for (row, &e) in SIZES.iter().enumerate() {
+        let nab = mean_latency(&out[row * 2]);
+        let ab = mean_latency(&out[row * 2 + 1]);
         t.row(vec![e.to_string(), f2(nab), f2(ab), f2(ab - nab)]);
     }
     vec![t]
@@ -171,33 +252,46 @@ pub fn fig10(iters: u64) -> Vec<Table> {
 /// Ablation: the §IV-E exit-delay policy — signals taken and CPU cost as
 /// the delay grows, at moderate skew.
 pub fn ablation_delay(iters: u64) -> Vec<Table> {
-    let mut t = Table::new(
-        "Ablation: exit-delay policy (16 nodes, 200us max skew, 4 elems)",
-        &["policy", "delay_us@16", "mean_cpu_us", "signals", "foi_vs_nab"],
-    );
     let cluster = ClusterSpec::heterogeneous(16);
-    let nab = run_cpu_util(&CpuUtilConfig {
-        elems: 4,
-        max_skew_us: 200,
-        iters,
-        ..CpuUtilConfig::new(cluster.clone(), Mode::Baseline)
-    });
     let policies: Vec<(String, DelayPolicy)> = vec![
         ("none".into(), DelayPolicy::None),
         ("fixed-50us".into(), DelayPolicy::Fixed { us: 50.0 }),
         ("fixed-250us".into(), DelayPolicy::Fixed { us: 250.0 }),
-        ("per-proc-2us".into(), DelayPolicy::PerProcess { us_per_process: 2.0 }),
-        ("per-proc-15us".into(), DelayPolicy::PerProcess { us_per_process: 15.0 }),
-        ("per-level-20us".into(), DelayPolicy::PerTreeLevel { us_per_level: 20.0 }),
+        (
+            "per-proc-2us".into(),
+            DelayPolicy::PerProcess {
+                us_per_process: 2.0,
+            },
+        ),
+        (
+            "per-proc-15us".into(),
+            DelayPolicy::PerProcess {
+                us_per_process: 15.0,
+            },
+        ),
+        (
+            "per-level-20us".into(),
+            DelayPolicy::PerTreeLevel { us_per_level: 20.0 },
+        ),
     ];
-    for (name, p) in policies {
-        let r = run_cpu_util(&CpuUtilConfig {
-            elems: 4,
-            max_skew_us: 200,
-            iters,
-            mode: Mode::Bypass(p),
-            ..CpuUtilConfig::new(cluster.clone(), Mode::Bypass(p))
-        });
+    let mut specs = vec![cpu_spec(cluster.clone(), 4, 200, iters, Mode::Baseline)];
+    for &(_, p) in &policies {
+        specs.push(cpu_spec(cluster.clone(), 4, 200, iters, Mode::Bypass(p)));
+    }
+    let out = sweep().run_points(&specs);
+    let nab = out[0].cpu();
+    let mut t = Table::new(
+        "Ablation: exit-delay policy (16 nodes, 200us max skew, 4 elems)",
+        &[
+            "policy",
+            "delay_us@16",
+            "mean_cpu_us",
+            "signals",
+            "foi_vs_nab",
+        ],
+    );
+    for (i, (name, p)) in policies.into_iter().enumerate() {
+        let r = out[i + 1].cpu();
         t.row(vec![
             name,
             f2(p.budget(16).as_us_f64()),
@@ -212,19 +306,26 @@ pub fn ablation_delay(iters: u64) -> Vec<Table> {
 /// Ablation: sensitivity of the factor of improvement to the signal cost
 /// (the interrupt-vs-poll trade at the heart of the design).
 pub fn ablation_signal_cost(iters: u64) -> Vec<Table> {
-    let mut t = Table::new(
-        "Ablation: signal-cost sensitivity (32 nodes, 1000us skew, 4 elems)",
-        &["signal_us", "nab_cpu_us", "ab_cpu_us", "foi"],
-    );
-    for &sig in &[1.0f64, 2.5, 5.5, 11.0, 22.0, 44.0] {
+    const SIGNAL_US: [f64; 6] = [1.0, 2.5, 5.5, 11.0, 22.0, 44.0];
+    let mut specs = Vec::new();
+    for &sig in &SIGNAL_US {
         let cost = CostModel {
             signal_delivery_us: sig * 0.8,
             signal_handler_entry_us: sig * 0.2,
             ..CostModel::default()
         };
         let cluster = ClusterSpec::heterogeneous_32().with_cost(cost);
-        let nab = cpu_cell(cluster.clone(), 4, 1000, iters, Mode::Baseline);
-        let ab = cpu_cell(cluster, 4, 1000, iters, ab_mode());
+        specs.push(cpu_spec(cluster.clone(), 4, 1000, iters, Mode::Baseline));
+        specs.push(cpu_spec(cluster, 4, 1000, iters, ab_mode()));
+    }
+    let out = sweep().run_points(&specs);
+    let mut t = Table::new(
+        "Ablation: signal-cost sensitivity (32 nodes, 1000us skew, 4 elems)",
+        &["signal_us", "nab_cpu_us", "ab_cpu_us", "foi"],
+    );
+    for (row, &sig) in SIGNAL_US.iter().enumerate() {
+        let nab = mean_cpu(&out[row * 2]);
+        let ab = mean_cpu(&out[row * 2 + 1]);
         t.row(vec![f2(sig), f2(nab), f2(ab), ratio(nab, ab)]);
     }
     vec![t]
@@ -233,19 +334,26 @@ pub fn ablation_signal_cost(iters: u64) -> Vec<Table> {
 /// Ablation: the copy-count claims of §V (50% fewer copies for unexpected
 /// messages, 100% for expected/late) plus the split-phase extension.
 pub fn ablation_copies(iters: u64) -> Vec<Table> {
+    let cluster = ClusterSpec::heterogeneous(16);
+    let modes = [Mode::Baseline, ab_mode(), Mode::SplitPhase];
+    let specs: Vec<RunSpec> = modes
+        .iter()
+        .map(|&mode| cpu_spec(cluster.clone(), 32, 300, iters, mode))
+        .collect();
+    let out = sweep().run_points(&specs);
     let mut t = Table::new(
         "Copy accounting and split-phase (16 nodes, 300us skew, 32 elems)",
-        &["mode", "mean_cpu_us", "copies", "copy_bytes", "copies_saved", "signals"],
+        &[
+            "mode",
+            "mean_cpu_us",
+            "copies",
+            "copy_bytes",
+            "copies_saved",
+            "signals",
+        ],
     );
-    let cluster = ClusterSpec::heterogeneous(16);
-    for mode in [Mode::Baseline, ab_mode(), Mode::SplitPhase] {
-        let r = run_cpu_util(&CpuUtilConfig {
-            elems: 32,
-            max_skew_us: 300,
-            iters,
-            mode,
-            ..CpuUtilConfig::new(cluster.clone(), mode)
-        });
+    for (mode, out) in modes.iter().zip(&out) {
+        let r = out.cpu();
         let get = |k: &str| {
             r.counters
                 .iter()
@@ -268,19 +376,25 @@ pub fn ablation_copies(iters: u64) -> Vec<Table> {
 /// Ablation: the §VII NIC-based reduction extension — how much host CPU the
 /// NIC absorbs, and where the slow LANai arithmetic starts to hurt latency.
 pub fn ablation_nic(iters: u64) -> Vec<Table> {
+    const SIZES: [usize; 5] = [1, 8, 32, 128, 512];
     let cluster = ClusterSpec::heterogeneous(16);
+    let modes = [Mode::Baseline, ab_mode(), Mode::NicBypass];
+    let mut specs: Vec<RunSpec> = modes
+        .iter()
+        .map(|&mode| cpu_spec(cluster.clone(), 4, 500, iters, mode))
+        .collect();
+    for &e in &SIZES {
+        for mode in [Mode::Baseline, ab_mode(), Mode::NicBypass] {
+            specs.push(lat_spec(ClusterSpec::heterogeneous_32(), e, iters, mode));
+        }
+    }
+    let out = sweep().run_points(&specs);
     let mut t = Table::new(
         "Ablation: NIC-based reduction, CPU (16 nodes, 500us max skew, 4 elems)",
         &["mode", "host_cpu_us", "nic_us_total", "signals"],
     );
-    for mode in [Mode::Baseline, ab_mode(), Mode::NicBypass] {
-        let r = run_cpu_util(&CpuUtilConfig {
-            elems: 4,
-            max_skew_us: 500,
-            iters,
-            mode,
-            ..CpuUtilConfig::new(cluster.clone(), mode)
-        });
+    for (mode, out) in modes.iter().zip(&out) {
+        let r = out.cpu();
         t.row(vec![
             mode.label().to_string(),
             f2(r.mean_cpu_us),
@@ -292,11 +406,14 @@ pub fn ablation_nic(iters: u64) -> Vec<Table> {
         "Ablation: NIC-based reduction, latency vs message size (32 nodes, us)",
         &["elems", "nab", "ab", "ab-nic"],
     );
-    for &e in &[1usize, 8, 32, 128, 512] {
-        let nab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, Mode::Baseline);
-        let ab = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, ab_mode());
-        let nic = latency_cell(ClusterSpec::heterogeneous_32(), e, iters, Mode::NicBypass);
-        t2.row(vec![e.to_string(), f2(nab), f2(ab), f2(nic)]);
+    for (row, &e) in SIZES.iter().enumerate() {
+        let cells = &out[modes.len() + row * 3..modes.len() + row * 3 + 3];
+        t2.row(vec![
+            e.to_string(),
+            f2(mean_latency(&cells[0])),
+            f2(mean_latency(&cells[1])),
+            f2(mean_latency(&cells[2])),
+        ]);
     }
     vec![t, t2]
 }
@@ -305,22 +422,29 @@ pub fn ablation_nic(iters: u64) -> Vec<Table> {
 /// system) — a skewed root stalls the blocking broadcast's whole tree;
 /// bypass frees it.
 pub fn ablation_bcast(iters: u64) -> Vec<Table> {
-    let mut t = Table::new(
-        "Ablation: application-bypass broadcast (16 nodes, 4 elems)",
-        &["skew_us", "blocking_us", "bypass_us", "foi", "signals"],
-    );
-    for &skew in &[0u64, 250, 500, 1000] {
+    const SKEWS: [u64; 4] = [0, 250, 500, 1000];
+    let mut specs = Vec::new();
+    for &skew in &SKEWS {
         let base = CpuUtilConfig {
             elems: 4,
             max_skew_us: skew,
             iters,
             ..CpuUtilConfig::new(ClusterSpec::heterogeneous(16), Mode::Baseline)
         };
-        let blocking = run_bcast_util(&base);
-        let bypass = run_bcast_util(&CpuUtilConfig {
+        specs.push(RunSpec::Bcast(base.clone()));
+        specs.push(RunSpec::Bcast(CpuUtilConfig {
             mode: ab_mode(),
-            ..base.clone()
-        });
+            ..base
+        }));
+    }
+    let out = sweep().run_points(&specs);
+    let mut t = Table::new(
+        "Ablation: application-bypass broadcast (16 nodes, 4 elems)",
+        &["skew_us", "blocking_us", "bypass_us", "foi", "signals"],
+    );
+    for (row, &skew) in SKEWS.iter().enumerate() {
+        let blocking = out[row * 2].cpu();
+        let bypass = out[row * 2 + 1].cpu();
         t.row(vec![
             skew.to_string(),
             f2(blocking.mean_cpu_us),
@@ -336,26 +460,35 @@ pub fn ablation_bcast(iters: u64) -> Vec<Table> {
 /// application-bypass operations on large-scale clusters" — taken beyond
 /// the paper's 32-node testbed.
 pub fn ablation_scale(iters: u64) -> Vec<Table> {
+    const NODES: [u32; 4] = [32, 64, 128, 256];
+    let mut specs = Vec::new();
+    for &n in &NODES {
+        for mode in [Mode::Baseline, ab_mode(), Mode::SplitPhase] {
+            specs.push(cpu_spec(
+                ClusterSpec::heterogeneous(n),
+                4,
+                1000,
+                iters,
+                mode,
+            ));
+        }
+    }
+    let out = sweep().run_points(&specs);
     let mut t = Table::new(
         "Ablation: scaling beyond the testbed (1000us max skew, 4 elems)",
-        &["nodes", "nab_us", "ab_us", "foi", "ab_split_us", "foi_split"],
+        &[
+            "nodes",
+            "nab_us",
+            "ab_us",
+            "foi",
+            "ab_split_us",
+            "foi_split",
+        ],
     );
-    for &n in &[32u32, 64, 128, 256] {
-        let base = CpuUtilConfig {
-            elems: 4,
-            max_skew_us: 1000,
-            iters,
-            ..CpuUtilConfig::new(ClusterSpec::heterogeneous(n), Mode::Baseline)
-        };
-        let nab = run_cpu_util(&base);
-        let ab = run_cpu_util(&CpuUtilConfig {
-            mode: ab_mode(),
-            ..base.clone()
-        });
-        let split = run_cpu_util(&CpuUtilConfig {
-            mode: Mode::SplitPhase,
-            ..base.clone()
-        });
+    for (row, &n) in NODES.iter().enumerate() {
+        let nab = out[row * 3].cpu();
+        let ab = out[row * 3 + 1].cpu();
+        let split = out[row * 3 + 2].cpu();
         t.row(vec![
             n.to_string(),
             f2(nab.mean_cpu_us),
@@ -372,26 +505,43 @@ pub fn ablation_scale(iters: u64) -> Vec<Table> {
 /// evaluation. A bulk-synchronous app (imbalanced compute + per-sweep
 /// residual reduction, no barriers) measured by *time-to-solution*.
 pub fn ablation_app(iters: u64) -> Vec<Table> {
-    let mut t = Table::new(
-        "Ablation: application benchmark — 50 imbalanced sweeps, no barriers",
-        &["nodes", "imbalance", "nab_makespan", "ab_makespan", "split_makespan", "nab_cpu", "ab_cpu", "split_cpu"],
-    );
+    const CASES: [(u32, f64); 4] = [(8, 0.5), (8, 2.0), (32, 0.5), (32, 2.0)];
     let sweeps = iters.clamp(20, 200);
-    for &(n, imb) in &[(8u32, 0.5f64), (8, 2.0), (32, 0.5), (32, 2.0)] {
+    let mut specs = Vec::new();
+    for &(n, imb) in &CASES {
         let base = AppBenchConfig {
             sweeps,
             imbalance: imb,
             ..AppBenchConfig::new(ClusterSpec::heterogeneous(n), Mode::Baseline)
         };
-        let nab = run_app_bench(&base);
-        let ab = run_app_bench(&AppBenchConfig {
+        specs.push(RunSpec::App(base.clone()));
+        specs.push(RunSpec::App(AppBenchConfig {
             mode: ab_mode(),
             ..base.clone()
-        });
-        let split = run_app_bench(&AppBenchConfig {
+        }));
+        specs.push(RunSpec::App(AppBenchConfig {
             mode: Mode::SplitPhase,
-            ..base.clone()
-        });
+            ..base
+        }));
+    }
+    let out = sweep().run_points(&specs);
+    let mut t = Table::new(
+        "Ablation: application benchmark — 50 imbalanced sweeps, no barriers",
+        &[
+            "nodes",
+            "imbalance",
+            "nab_makespan",
+            "ab_makespan",
+            "split_makespan",
+            "nab_cpu",
+            "ab_cpu",
+            "split_cpu",
+        ],
+    );
+    for (row, &(n, imb)) in CASES.iter().enumerate() {
+        let nab = out[row * 3].app();
+        let ab = out[row * 3 + 1].app();
+        let split = out[row * 3 + 2].app();
         t.row(vec![
             n.to_string(),
             format!("{imb:.1}"),

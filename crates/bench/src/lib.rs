@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod sweep_json;
 
 /// Iterations per configuration, from `ABR_ITERS` (default 300).
 pub fn iters() -> u64 {

@@ -1,0 +1,124 @@
+//! `BENCH_sweep.json`: wall-clock records for figure sweeps.
+//!
+//! The figure binaries time each figure's sweep and write one JSON file
+//! summarizing the run: worker count, iteration count, and a
+//! `{name, points, wall_ms}` record per figure. The series themselves are
+//! deterministic at any worker count (see [`abr_cluster::sweep`]), so this
+//! file is the place to look for the *throughput* effect of `ABR_JOBS`.
+//!
+//! The output path defaults to `BENCH_sweep.json` in the current directory
+//! and can be overridden with the `ABR_SWEEP_JSON` environment variable.
+//! The JSON is hand-rolled (no serializer dependency); all strings written
+//! are compile-time figure names, so no escaping is needed.
+
+use abr_cluster::report::Table;
+use abr_cluster::sweep::points_run;
+use std::time::Instant;
+
+/// Wall-clock record for one figure's sweep.
+#[derive(Debug, Clone)]
+pub struct FigureRecord {
+    /// Figure name, e.g. `fig6`.
+    pub name: &'static str,
+    /// Simulation points the sweep evaluated.
+    pub points: u64,
+    /// Wall-clock time for the whole figure (ms).
+    pub wall_ms: f64,
+}
+
+/// Run `f`, returning its tables plus a timing record attributing the
+/// sweep points it executed.
+pub fn timed_figure(
+    name: &'static str,
+    f: impl FnOnce() -> Vec<Table>,
+) -> (Vec<Table>, FigureRecord) {
+    let points_before = points_run();
+    let t0 = Instant::now();
+    let tables = f();
+    let record = FigureRecord {
+        name,
+        points: points_run() - points_before,
+        wall_ms: t0.elapsed().as_secs_f64() * 1e3,
+    };
+    (tables, record)
+}
+
+/// The output path: `ABR_SWEEP_JSON` or `BENCH_sweep.json`.
+pub fn out_path() -> String {
+    std::env::var("ABR_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string())
+}
+
+/// Render the summary JSON document.
+pub fn render(jobs: usize, iters: u64, records: &[FigureRecord]) -> String {
+    let total_points: u64 = records.iter().map(|r| r.points).sum();
+    let total_ms: f64 = records.iter().map(|r| r.wall_ms).sum();
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"abr-sweep-v1\",\n");
+    s.push_str(&format!("  \"jobs\": {jobs},\n"));
+    s.push_str(&format!("  \"iters\": {iters},\n"));
+    s.push_str(&format!("  \"total_points\": {total_points},\n"));
+    s.push_str(&format!("  \"total_wall_ms\": {total_ms:.3},\n"));
+    s.push_str("  \"figures\": [\n");
+    for (i, r) in records.iter().enumerate() {
+        let comma = if i + 1 < records.len() { "," } else { "" };
+        s.push_str(&format!(
+            "    {{\"name\": \"{}\", \"points\": {}, \"wall_ms\": {:.3}}}{comma}\n",
+            r.name, r.points, r.wall_ms
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    s
+}
+
+/// Write the summary to [`out_path`]; prints a one-line notice on success
+/// and a warning (without failing the run) if the write is impossible.
+pub fn write(jobs: usize, iters: u64, records: &[FigureRecord]) {
+    let path = out_path();
+    match std::fs::write(&path, render(jobs, iters, records)) {
+        Ok(()) => eprintln!("sweep timings written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_is_valid_shape() {
+        let records = vec![
+            FigureRecord {
+                name: "fig6",
+                points: 66,
+                wall_ms: 12.5,
+            },
+            FigureRecord {
+                name: "fig7",
+                points: 60,
+                wall_ms: 8.25,
+            },
+        ];
+        let s = render(4, 300, &records);
+        assert!(s.contains("\"jobs\": 4"));
+        assert!(s.contains("\"total_points\": 126"));
+        assert!(s.contains("\"name\": \"fig6\""));
+        assert!(s.contains("\"wall_ms\": 8.250}"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        // Exactly one trailing-comma-free list.
+        assert!(!s.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn timed_figure_attributes_points() {
+        use abr_cluster::sweep::Sweep;
+        let (tables, rec) = timed_figure("probe", || {
+            Sweep::with_jobs(1).map(&[1u8, 2], |&x| x);
+            Vec::new()
+        });
+        assert!(tables.is_empty());
+        assert_eq!(rec.name, "probe");
+        assert!(rec.points >= 2);
+        assert!(rec.wall_ms >= 0.0);
+    }
+}

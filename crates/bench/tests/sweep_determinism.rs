@@ -1,0 +1,79 @@
+//! Determinism of the parallel sweep executor: the same spec list must
+//! produce byte-identical results at any worker count, both at the
+//! `run_points` level and through a full figure's rendered tables.
+
+use abr_cluster::microbench::{AppBenchConfig, CpuUtilConfig, LatencyConfig, Mode};
+use abr_cluster::node::ClusterSpec;
+use abr_cluster::sweep::{RunSpec, Sweep};
+use abr_core::DelayPolicy;
+
+const ITERS: u64 = 8;
+
+fn mixed_specs() -> Vec<RunSpec> {
+    let mut specs = Vec::new();
+    for &n in &[2u32, 4, 8] {
+        for mode in [Mode::Baseline, Mode::Bypass(DelayPolicy::None)] {
+            specs.push(RunSpec::Cpu(CpuUtilConfig {
+                elems: 4,
+                max_skew_us: 200,
+                iters: ITERS,
+                mode,
+                ..CpuUtilConfig::new(ClusterSpec::heterogeneous(n), mode)
+            }));
+            specs.push(RunSpec::Latency(LatencyConfig {
+                elems: 2,
+                iters: ITERS,
+                mode,
+                ..LatencyConfig::new(ClusterSpec::heterogeneous(n), mode)
+            }));
+        }
+        specs.push(RunSpec::Bcast(CpuUtilConfig {
+            elems: 4,
+            max_skew_us: 100,
+            iters: ITERS,
+            ..CpuUtilConfig::new(ClusterSpec::heterogeneous(n), Mode::Baseline)
+        }));
+        specs.push(RunSpec::App(AppBenchConfig {
+            sweeps: 5,
+            imbalance: 1.0,
+            ..AppBenchConfig::new(ClusterSpec::heterogeneous(n), Mode::Baseline)
+        }));
+    }
+    specs
+}
+
+/// `run_points` output is byte-identical (full Debug serialization,
+/// covering every field of every result) at jobs = 1, 2, 8.
+#[test]
+fn run_points_identical_across_worker_counts() {
+    let specs = mixed_specs();
+    let seq = format!("{:?}", Sweep::with_jobs(1).run_points(&specs));
+    for jobs in [2usize, 8] {
+        let par = format!("{:?}", Sweep::with_jobs(jobs).run_points(&specs));
+        assert_eq!(par, seq, "sweep output diverged at jobs={jobs}");
+    }
+}
+
+/// A real figure renders byte-identical tables under different `ABR_JOBS`
+/// settings. Env mutation is confined to this one test (its own process:
+/// integration test binaries run tests in-process, but nothing else in
+/// this file touches `ABR_JOBS`, and assertions run after each set).
+#[test]
+fn figure_tables_identical_across_abr_jobs() {
+    let render = |jobs: &str| -> String {
+        std::env::set_var("ABR_JOBS", jobs);
+        let tables = abr_bench::figures::fig9(4);
+        std::env::remove_var("ABR_JOBS");
+        tables
+            .iter()
+            .map(|t| t.render())
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let seq = render("1");
+    let par2 = render("2");
+    let par8 = render("8");
+    assert!(!seq.is_empty());
+    assert_eq!(seq, par2, "fig9 tables diverged at ABR_JOBS=2");
+    assert_eq!(seq, par8, "fig9 tables diverged at ABR_JOBS=8");
+}

@@ -45,10 +45,7 @@ enum Ev {
 
 enum NodeState {
     /// Executing a busy-loop step; `charge` is applied when it completes.
-    Busy {
-        charge: SimDuration,
-        event: EventId,
-    },
+    Busy { charge: SimDuration, event: EventId },
     /// Inside a blocking MPI call, busy-polling.
     Blocked {
         req: ReqId,
@@ -133,6 +130,8 @@ pub struct DesDriver<E: MessageEngine> {
     /// Total packets delivered.
     pub packets_delivered: u64,
     timeline: Option<Vec<TimelineEvent>>,
+    /// Reused buffer for draining engine actions (see `route_actions`).
+    action_scratch: Vec<Action>,
 }
 
 impl<E: MessageEngine> DesDriver<E> {
@@ -182,6 +181,7 @@ impl<E: MessageEngine> DesDriver<E> {
             max_events: 2_000_000_000,
             packets_delivered: 0,
             timeline: None,
+            action_scratch: Vec::new(),
         }
     }
 
@@ -304,8 +304,11 @@ impl<E: MessageEngine> DesDriver<E> {
 
     /// Route the engine's pending actions. Sends are stamped `stamp`.
     fn route_actions(&mut self, i: usize, stamp: SimTime) {
-        let actions = self.nodes[i].engine.drain_actions();
-        for a in actions {
+        // Double-buffer: drain into a scratch vector that is returned to
+        // the driver afterwards, so steady-state routing allocates nothing.
+        let mut actions = std::mem::take(&mut self.action_scratch);
+        self.nodes[i].engine.drain_actions_into(&mut actions);
+        for a in actions.drain(..) {
             match a {
                 Action::Send(mut pkt) => {
                     let key = (pkt.header.src.0, pkt.header.dst.0);
@@ -326,6 +329,7 @@ impl<E: MessageEngine> DesDriver<E> {
                 }
             }
         }
+        self.action_scratch = actions;
     }
 
     /// The node just ran engine work inline at `t`: charge it, advance the
@@ -364,9 +368,7 @@ impl<E: MessageEngine> DesDriver<E> {
                 let new_end = self.nodes[i].cpu_free_at + w;
                 self.queue.cancel(event);
                 let gen = self.nodes[i].gen;
-                let new_event = self
-                    .queue
-                    .schedule(new_end, Ev::StepDone { node: i, gen });
+                let new_event = self.queue.schedule(new_end, Ev::StepDone { node: i, gen });
                 self.nodes[i].state = NodeState::Busy {
                     charge,
                     event: new_event,
@@ -420,9 +422,7 @@ impl<E: MessageEngine> DesDriver<E> {
             // is paid even though the handler body is skipped (Fig. 4's
             // "simply ignored" signal is not free).
             let cost = self.network.cost().signal_ignored_cost();
-            self.nodes[i]
-                .meter
-                .charge(CpuCategory::SignalHandler, cost);
+            self.nodes[i].meter.charge(CpuCategory::SignalHandler, cost);
             self.nodes[i].interrupt_debt += cost;
         }
         self.nodes[i].engine.deliver(pkt);
@@ -492,7 +492,10 @@ impl<E: MessageEngine> DesDriver<E> {
         let exit_at = self.nodes[i].cpu_free_at.max(t);
         self.nodes[i].engine.split_phase_exit(req);
         let end = self.finish_call(i, exit_at);
-        debug_assert!(self.nodes[i].engine.test(req), "split exit must complete the call");
+        debug_assert!(
+            self.nodes[i].engine.test(req),
+            "split exit must complete the call"
+        );
         let _ = self.nodes[i].engine.take_outcome(req);
         self.nodes[i].gen += 1;
         self.maybe_synth_signal(i, end);
@@ -503,7 +506,11 @@ impl<E: MessageEngine> DesDriver<E> {
     /// run the progress engine, and resume the program if the request
     /// completed.
     fn wake_blocked(&mut self, i: usize, t: SimTime) {
-        let NodeState::Blocked { req, deadline_event } = self.nodes[i].state else {
+        let NodeState::Blocked {
+            req,
+            deadline_event,
+        } = self.nodes[i].state
+        else {
             return;
         };
         let poll_from = self.nodes[i].poll_from;

@@ -42,6 +42,7 @@ pub mod microbench;
 pub mod node;
 pub mod program;
 pub mod report;
+pub mod sweep;
 
 pub use driver::DesDriver;
 pub use microbench::{CpuUtilConfig, CpuUtilResult, LatencyConfig, LatencyResult};

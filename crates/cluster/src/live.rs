@@ -23,9 +23,9 @@ use abr_mpr::request::Outcome;
 use abr_mpr::types::{Datatype, MprError, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
 use bytes::Bytes;
-use std::sync::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 /// How long a dispatcher sleeps when it cannot act.
@@ -109,8 +109,9 @@ impl RankCtx {
                 return self.shared.with_engine(|e| e.take_outcome(req));
             }
             if let Some(budget) = hint {
-                let dl = *deadline
-                    .get_or_insert_with(|| Instant::now() + Duration::from_nanos(budget.as_nanos()));
+                let dl = *deadline.get_or_insert_with(|| {
+                    Instant::now() + Duration::from_nanos(budget.as_nanos())
+                });
                 if Instant::now() >= dl {
                     return self.shared.with_engine(|e| {
                         e.split_phase_exit(req);
@@ -161,12 +162,7 @@ impl RankCtx {
     /// Split-phase allreduce (§II extension): a bypassed reduce chained
     /// into a bypassed broadcast; every rank's handle completes with the
     /// reduced data, signal-driven.
-    pub fn allreduce_split(
-        &self,
-        op: ReduceOp,
-        dtype: Datatype,
-        data: &[u8],
-    ) -> SplitReduce<'_> {
+    pub fn allreduce_split(&self, op: ReduceOp, dtype: Datatype, data: &[u8]) -> SplitReduce<'_> {
         let comm = self.world();
         let req = self
             .shared
@@ -175,12 +171,7 @@ impl RankCtx {
     }
 
     /// Blocking allreduce; every rank gets the result.
-    pub fn allreduce(
-        &self,
-        op: ReduceOp,
-        dtype: Datatype,
-        data: &[u8],
-    ) -> Result<Bytes, MprError> {
+    pub fn allreduce(&self, op: ReduceOp, dtype: Datatype, data: &[u8]) -> Result<Bytes, MprError> {
         let comm = self.world();
         let req = self
             .shared
@@ -220,9 +211,9 @@ impl RankCtx {
     /// concatenation.
     pub fn gather(&self, root: Rank, data: &[u8]) -> Result<Option<Bytes>, MprError> {
         let comm = self.world();
-        let req = self.shared.with_engine(|e| {
-            abr_mpr::engine::Engine::igather(e.inner_mut(), &comm, root, data)
-        });
+        let req = self
+            .shared
+            .with_engine(|e| abr_mpr::engine::Engine::igather(e.inner_mut(), &comm, root, data));
         match self.block_on(req) {
             Some(Outcome::Data(d)) => Ok(Some(d)),
             Some(Outcome::Done) | None => Ok(None),
@@ -252,9 +243,9 @@ impl RankCtx {
     /// Blocking allgather; every rank gets every block in rank order.
     pub fn allgather(&self, data: &[u8]) -> Result<Bytes, MprError> {
         let comm = self.world();
-        let req = self.shared.with_engine(|e| {
-            abr_mpr::engine::Engine::iallgather(e.inner_mut(), &comm, data)
-        });
+        let req = self
+            .shared
+            .with_engine(|e| abr_mpr::engine::Engine::iallgather(e.inner_mut(), &comm, data));
         match self.block_on(req) {
             Some(Outcome::Data(d)) => Ok(d),
             Some(Outcome::Failed(e)) => Err(e),
@@ -266,15 +257,15 @@ impl RankCtx {
     pub fn barrier(&self) {
         let comm = self.world();
         let req = self.shared.with_engine(|e| e.ibarrier(&comm));
-        if let Some(Outcome::Failed(e)) = self.block_on(req) { panic!("barrier failed: {e}") }
+        if let Some(Outcome::Failed(e)) = self.block_on(req) {
+            panic!("barrier failed: {e}")
+        }
     }
 
     /// Blocking send.
     pub fn send(&self, dst: Rank, tag: i32, data: Bytes) -> Result<(), MprError> {
         let comm = self.world();
-        let req = self
-            .shared
-            .with_engine(|e| e.isend(&comm, dst, tag, data));
+        let req = self.shared.with_engine(|e| e.isend(&comm, dst, tag, data));
         match self.block_on(req) {
             Some(Outcome::Failed(e)) => Err(e),
             _ => Ok(()),
@@ -284,9 +275,7 @@ impl RankCtx {
     /// Blocking receive.
     pub fn recv(&self, src: Option<Rank>, tag: TagSel, cap: usize) -> Result<Bytes, MprError> {
         let comm = self.world();
-        let req = self
-            .shared
-            .with_engine(|e| e.irecv(&comm, src, tag, cap));
+        let req = self.shared.with_engine(|e| e.irecv(&comm, src, tag, cap));
         match self.block_on(req) {
             Some(Outcome::Data(d)) => Ok(d),
             Some(Outcome::Failed(e)) => Err(e),
@@ -318,7 +307,12 @@ impl SplitReduce<'_> {
     /// Non-blocking completion test — no engine progress is made, so a
     /// `true` here under signal dispatch proves the bypass worked.
     pub fn test(&self) -> bool {
-        self.ctx.shared.engine.lock().expect("engine lock poisoned").test(self.req)
+        self.ctx
+            .shared
+            .engine
+            .lock()
+            .expect("engine lock poisoned")
+            .test(self.req)
     }
 
     /// Wait for completion; the root gets `Some(result)`.

@@ -368,11 +368,16 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
             let mut d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| {
-                    AbEngine::new(rank, n, ec, AbConfig {
-                        enabled: true,
-                        delay,
-                        nic_offload: false,
-                    })
+                    AbEngine::new(
+                        rank,
+                        n,
+                        ec,
+                        AbConfig {
+                            enabled: true,
+                            delay,
+                            nic_offload: false,
+                        },
+                    )
                 },
                 programs,
             );
@@ -383,11 +388,16 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
             let mut d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| {
-                    AbEngine::new(rank, n, ec, AbConfig {
-                        enabled: true,
-                        delay: DelayPolicy::None,
-                        nic_offload: false,
-                    })
+                    AbEngine::new(
+                        rank,
+                        n,
+                        ec,
+                        AbConfig {
+                            enabled: true,
+                            delay: DelayPolicy::None,
+                            nic_offload: false,
+                        },
+                    )
                 },
                 programs,
             );
@@ -699,9 +709,7 @@ pub fn run_app_bench(cfg: &AppBenchConfig) -> AppBenchResult {
         Mode::Baseline => {
             let mut d = DesDriver::new(
                 &cfg.cluster,
-                |rank, ec: EngineConfig| {
-                    AbEngine::new(rank, n, ec, AbConfig::disabled())
-                },
+                |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, AbConfig::disabled()),
                 programs,
             );
             d.run();
@@ -1017,11 +1025,16 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyResult {
             let mut d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| {
-                    AbEngine::new(rank, n, ec, AbConfig {
-                        enabled: true,
-                        delay,
-                        nic_offload: nic,
-                    })
+                    AbEngine::new(
+                        rank,
+                        n,
+                        ec,
+                        AbConfig {
+                            enabled: true,
+                            delay,
+                            nic_offload: nic,
+                        },
+                    )
                 },
                 programs,
             );

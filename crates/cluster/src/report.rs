@@ -79,8 +79,18 @@ mod tests {
     #[test]
     fn renders_aligned_table() {
         let mut t = Table::new("Demo", &["skew", "nab", "ab", "factor"]);
-        t.row(vec!["0".into(), "12.10".into(), "9.00".into(), "1.34".into()]);
-        t.row(vec!["1000".into(), "101.55".into(), "20.01".into(), "5.07".into()]);
+        t.row(vec![
+            "0".into(),
+            "12.10".into(),
+            "9.00".into(),
+            "1.34".into(),
+        ]);
+        t.row(vec![
+            "1000".into(),
+            "101.55".into(),
+            "20.01".into(),
+            "5.07".into(),
+        ]);
         let s = t.render();
         assert!(s.contains("== Demo =="));
         assert!(s.contains("skew"));

@@ -1,8 +1,6 @@
 //! End-to-end tests of the discrete-event driver and the microbenchmarks.
 
-use abr_cluster::microbench::{
-    run_cpu_util, run_latency, CpuUtilConfig, LatencyConfig, Mode,
-};
+use abr_cluster::microbench::{run_cpu_util, run_latency, CpuUtilConfig, LatencyConfig, Mode};
 use abr_cluster::node::ClusterSpec;
 use abr_cluster::program::{ScriptProgram, Step};
 use abr_cluster::DesDriver;
@@ -71,7 +69,10 @@ fn des_is_deterministic() {
     let run = || {
         let cfg = CpuUtilConfig {
             iters: 20,
-            ..CpuUtilConfig::new(ClusterSpec::heterogeneous(8), Mode::Bypass(DelayPolicy::None))
+            ..CpuUtilConfig::new(
+                ClusterSpec::heterogeneous(8),
+                Mode::Bypass(DelayPolicy::None),
+            )
         };
         let r = run_cpu_util(&cfg);
         (format!("{:.6}", r.mean_cpu_us), r.signals)
@@ -126,8 +127,16 @@ fn cpu_util_no_skew_is_cheap_for_both() {
     });
     // Without injected skew both implementations should sit well below the
     // 1000us-skew numbers; tens of microseconds territory.
-    assert!(nab.mean_cpu_us < 120.0, "nab no-skew too expensive: {}", nab.mean_cpu_us);
-    assert!(ab.mean_cpu_us < 120.0, "ab no-skew too expensive: {}", ab.mean_cpu_us);
+    assert!(
+        nab.mean_cpu_us < 120.0,
+        "nab no-skew too expensive: {}",
+        nab.mean_cpu_us
+    );
+    assert!(
+        ab.mean_cpu_us < 120.0,
+        "ab no-skew too expensive: {}",
+        ab.mean_cpu_us
+    );
 }
 
 #[test]
@@ -137,7 +146,11 @@ fn latency_benchmark_produces_plausible_numbers() {
         ..LatencyConfig::new(ClusterSpec::homogeneous_700(16), Mode::Baseline)
     };
     let nab = run_latency(&cfg);
-    assert!(nab.one_way_us > 1.0 && nab.one_way_us < 30.0, "one-way {}", nab.one_way_us);
+    assert!(
+        nab.one_way_us > 1.0 && nab.one_way_us < 30.0,
+        "one-way {}",
+        nab.one_way_us
+    );
     assert!(
         nab.mean_latency_us > 10.0 && nab.mean_latency_us < 300.0,
         "16-node latency {}us implausible",
@@ -170,7 +183,12 @@ fn latency_two_nodes_nearly_identical_between_modes() {
         ..cfg
     });
     let rel = (ab.mean_latency_us - nab.mean_latency_us).abs() / nab.mean_latency_us;
-    assert!(rel < 0.05, "2-node ab/nab diverge: {} vs {}", ab.mean_latency_us, nab.mean_latency_us);
+    assert!(
+        rel < 0.05,
+        "2-node ab/nab diverge: {} vs {}",
+        ab.mean_latency_us,
+        nab.mean_latency_us
+    );
     assert_eq!(ab.signals, 0, "no internal nodes, no signals");
 }
 
@@ -201,7 +219,10 @@ fn delay_policy_reduces_signals() {
     let base = CpuUtilConfig {
         iters: 40,
         max_skew_us: 200,
-        ..CpuUtilConfig::new(ClusterSpec::homogeneous_1000(8), Mode::Bypass(DelayPolicy::None))
+        ..CpuUtilConfig::new(
+            ClusterSpec::homogeneous_1000(8),
+            Mode::Bypass(DelayPolicy::None),
+        )
     };
     let no_delay = run_cpu_util(&base);
     let with_delay = run_cpu_util(&CpuUtilConfig {

@@ -64,7 +64,10 @@ fn homogeneous_halves_agree_like_the_paper_says() {
     let het = run_cpu_util(&cfg(ClusterSpec::heterogeneous(16))).mean_cpu_us;
     // Under dominant skew the class differences wash out: within ~15%.
     let spread = (hom7 - hom10).abs() / hom10;
-    assert!(spread < 0.15, "homogeneous halves diverge: {hom7:.1} vs {hom10:.1}");
+    assert!(
+        spread < 0.15,
+        "homogeneous halves diverge: {hom7:.1} vs {hom10:.1}"
+    );
     assert!(
         het > hom7.min(hom10) * 0.85 && het < hom7.max(hom10) * 1.15,
         "heterogeneous mix {het:.1} outside the homogeneous band [{hom10:.1}, {hom7:.1}]"
@@ -117,7 +120,9 @@ fn determinism_holds_across_heterogeneous_runs() {
             max_skew_us: 700,
             ..CpuUtilConfig::new(
                 ClusterSpec::heterogeneous(12),
-                Mode::Bypass(abr_core::DelayPolicy::PerProcess { us_per_process: 1.0 }),
+                Mode::Bypass(abr_core::DelayPolicy::PerProcess {
+                    us_per_process: 1.0,
+                }),
             )
         };
         let r = run_cpu_util(&cfg);

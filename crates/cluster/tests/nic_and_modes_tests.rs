@@ -51,7 +51,11 @@ impl Program for OneReduce {
     }
 }
 
-fn run_one_reduce(n: u32, config: AbConfig, elems: usize) -> (Vec<f64>, Vec<abr_cluster::driver::NodeResult>) {
+fn run_one_reduce(
+    n: u32,
+    config: AbConfig,
+    elems: usize,
+) -> (Vec<f64>, Vec<abr_cluster::driver::NodeResult>) {
     let spec = ClusterSpec::heterogeneous(n);
     let programs: Vec<Box<dyn Program>> = (0..n)
         .map(|rank| {
@@ -170,7 +174,10 @@ fn all_modes_run_on_every_cluster_flavour() {
                 iters: 8,
                 ..CpuUtilConfig::new(spec.clone(), mode)
             });
-            assert!(r.mean_cpu_us.is_finite() && r.mean_cpu_us >= 0.0, "{mode:?}");
+            assert!(
+                r.mean_cpu_us.is_finite() && r.mean_cpu_us >= 0.0,
+                "{mode:?}"
+            );
         }
     }
 }

@@ -127,7 +127,9 @@ fn event_cap_guards_against_livelock() {
             .map(|r| {
                 Box::new(ScriptProgram::new(
                     // Enough traffic to exceed a tiny cap.
-                    (0..50).flat_map(|_| [reduce_step(r), Step::Barrier]).collect(),
+                    (0..50)
+                        .flat_map(|_| [reduce_step(r), Step::Barrier])
+                        .collect(),
                 )) as Box<dyn Program>
             })
             .collect(),

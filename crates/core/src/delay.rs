@@ -12,8 +12,7 @@ use abr_des::SimDuration;
 
 /// How long the synchronous component lingers before delegating outstanding
 /// children to asynchronous processing.
-#[derive(Debug, Clone, Copy, PartialEq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub enum DelayPolicy {
     /// Exit immediately (pure application bypass; every late child costs a
     /// signal).
@@ -37,7 +36,6 @@ pub enum DelayPolicy {
         us_per_level: f64,
     },
 }
-
 
 impl DelayPolicy {
     /// The delay budget for a reduction over `size` processes.
@@ -74,7 +72,9 @@ mod tests {
 
     #[test]
     fn per_process_scales_linearly() {
-        let p = DelayPolicy::PerProcess { us_per_process: 0.5 };
+        let p = DelayPolicy::PerProcess {
+            us_per_process: 0.5,
+        };
         assert_eq!(p.budget(32), SimDuration::from_us(16));
         assert_eq!(p.budget(2), SimDuration::from_us(1));
     }
@@ -84,6 +84,13 @@ mod tests {
         let p = DelayPolicy::PerTreeLevel { us_per_level: 3.0 };
         assert_eq!(p.budget(32), SimDuration::from_us(15)); // 5 levels
         assert_eq!(p.budget(2), SimDuration::from_us(3)); // 1 level
-        assert!(p.budget(1024).as_us_f64() < DelayPolicy::PerProcess { us_per_process: 3.0 }.budget(1024).as_us_f64());
+        assert!(
+            p.budget(1024).as_us_f64()
+                < DelayPolicy::PerProcess {
+                    us_per_process: 3.0
+                }
+                .budget(1024)
+                .as_us_f64()
+        );
     }
 }

@@ -30,6 +30,7 @@ use crate::stats::AbStats;
 use crate::unexpected::{AbUnexpectedMsg, AbUnexpectedQueue};
 use abr_des::meter::CpuCategory;
 use abr_des::SimDuration;
+use abr_gm::packet::{Packet, PacketKind};
 use abr_mpr::charge::Charges;
 use abr_mpr::engine::{Action, Engine, EngineConfig, MessageEngine};
 use abr_mpr::op::ReduceOp;
@@ -37,7 +38,6 @@ use abr_mpr::request::Outcome;
 use abr_mpr::tree;
 use abr_mpr::types::{coll_code, coll_tag, coll_tag_code, Datatype, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
-use abr_gm::packet::{Packet, PacketKind};
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 
@@ -313,10 +313,11 @@ impl AbEngine {
         let req = self.inner.alloc_shell_req();
         let parent = tree::parent(rank, root, comm.size).expect("non-root has a parent");
         // The parent's data may already be parked (early arrival).
-        if let Some(msg) = self
-            .ab_unexpected
-            .take(parent, coll_tag(coll_code::BCAST, seq, 0), comm.coll_context)
-        {
+        if let Some(msg) = self.ab_unexpected.take(
+            parent,
+            coll_tag(coll_code::BCAST, seq, 0),
+            comm.coll_context,
+        ) {
             debug_assert_eq!(msg.coll_seq, seq, "bcast instance mix-up");
             let w = BcastWait {
                 context: comm.coll_context,
@@ -465,9 +466,9 @@ impl AbEngine {
         // Fold in children already parked on the AB unexpected queue —
         // processed directly from the queue, no second copy (§V-B).
         for child in &kids {
-            if let Some(msg) = self
-                .ab_unexpected
-                .take(*child, coll_tag(coll_code::REDUCE, seq, 0), ctx)
+            if let Some(msg) =
+                self.ab_unexpected
+                    .take(*child, coll_tag(coll_code::REDUCE, seq, 0), ctx)
             {
                 debug_assert_eq!(msg.coll_seq, seq, "FIFO instance mix-up");
                 let op_cost = self.inner.cost().reduce_op(dtype.count(desc.acc.len()));
@@ -485,10 +486,11 @@ impl AbEngine {
         if parent.is_none() {
             let pending = desc.pending_children.clone();
             for child in pending {
-                if let Some(msg) =
-                    self.inner
-                        .take_unexpected(Some(child), TagSel::Is(coll_tag(coll_code::REDUCE, seq, 0)), ctx)
-                {
+                if let Some(msg) = self.inner.take_unexpected(
+                    Some(child),
+                    TagSel::Is(coll_tag(coll_code::REDUCE, seq, 0)),
+                    ctx,
+                ) {
                     debug_assert_eq!(msg.coll_seq, seq, "FIFO instance mix-up");
                     let op_cost = self.inner.cost().reduce_op(dtype.count(desc.acc.len()));
                     self.inner.charge(CpuCategory::Protocol, op_cost);
@@ -869,6 +871,9 @@ impl MessageEngine for AbEngine {
     fn drain_actions(&mut self) -> Vec<Action> {
         self.inner.drain_actions()
     }
+    fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
+        self.inner.drain_actions_into(out)
+    }
     fn take_charges(&mut self) -> Charges {
         self.inner.take_charges()
     }
@@ -1001,7 +1006,10 @@ impl MessageEngine for AbEngine {
             ("delegated_to_async", s.delegated_to_async),
             ("completed_in_sync", s.completed_in_sync),
             ("copies_saved", s.copies_saved()),
-            ("descriptor_high_water", self.descriptors.high_water() as u64),
+            (
+                "descriptor_high_water",
+                self.descriptors.high_water() as u64,
+            ),
             ("nic_children", s.nic_children),
             ("bcast_splits", s.bcast_splits),
             ("bcast_forwards", s.bcast_forwards),

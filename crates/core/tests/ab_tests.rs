@@ -26,7 +26,13 @@ fn reduce_call(
     data: &[f64],
 ) -> abr_mpr::ReqId {
     let comm = lb.engines[rank].world();
-    let req = lb.engines[rank].ireduce(&comm, root, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(data));
+    let req = lb.engines[rank].ireduce(
+        &comm,
+        root,
+        ReduceOp::Sum,
+        Datatype::F64,
+        &f64s_to_bytes(data),
+    );
     if !lb.engines[rank].test(req) && lb.engines[rank].bounded_block_hint(req).is_some() {
         lb.engines[rank].split_phase_exit(req);
     }
@@ -102,11 +108,20 @@ fn internal_node_call_returns_before_late_children() {
     }
     // Node 2's *call* has returned (application bypass!) even though its
     // child 3 never showed up; the root is of course still blocked.
-    assert!(lb.engines[2].test(r2), "internal node must not block on a late child");
+    assert!(
+        lb.engines[2].test(r2),
+        "internal node must not block on a late child"
+    );
     assert!(lb.engines[1].test(r1), "leaf completes by sending");
-    assert!(!lb.engines[0].test(r0), "root cannot complete without the subtree");
+    assert!(
+        !lb.engines[0].test(r0),
+        "root cannot complete without the subtree"
+    );
     assert_eq!(lb.engines[2].descriptor_queue().len(), 1);
-    assert!(lb.engines[2].signals_enabled(), "outstanding reduction needs signals");
+    assert!(
+        lb.engines[2].signals_enabled(),
+        "outstanding reduction needs signals"
+    );
     // Now the late node arrives. Its message to node 2 must be handled by a
     // *signal*, with no application progress at node 2 at all.
     let r3 = reduce_call(&mut lb, 3, 0, &[3.0]);
@@ -121,10 +136,16 @@ fn internal_node_call_returns_before_late_children() {
         other => panic!("root outcome {other:?}"),
     }
     let s = lb.engines[2].ab_stats();
-    assert_eq!(s.async_children, 1, "the late child was processed asynchronously");
+    assert_eq!(
+        s.async_children, 1,
+        "the late child was processed asynchronously"
+    );
     assert!(s.signals_handled >= 1);
     assert!(lb.engines[2].descriptor_queue().is_empty());
-    assert!(!lb.engines[2].signals_enabled(), "signals disabled once drained");
+    assert!(
+        !lb.engines[2].signals_enabled(),
+        "signals disabled once drained"
+    );
 }
 
 #[test]
@@ -152,7 +173,10 @@ fn early_messages_park_once_and_are_swept_by_the_call() {
         other => panic!("{other:?}"),
     }
     let s = lb.engines[2].ab_stats();
-    assert_eq!(s.ab_unexpected_parked, 1, "node 3's early message parked once");
+    assert_eq!(
+        s.ab_unexpected_parked, 1,
+        "node 3's early message parked once"
+    );
     assert!(s.sync_children >= 1, "swept during the synchronous phase");
 }
 
@@ -190,7 +214,10 @@ fn consistently_late_child_across_back_to_back_reductions() {
     }
     // Rank 4 (internal, parent of 5) should have descriptors piling up.
     assert_eq!(lb.engines[4].descriptor_queue().len(), rounds as usize);
-    assert_eq!(lb.engines[4].descriptor_queue().high_water(), rounds as usize);
+    assert_eq!(
+        lb.engines[4].descriptor_queue().high_water(),
+        rounds as usize
+    );
     // The late rank now posts its backlog.
     for k in 0..rounds {
         let req = reduce_call(&mut lb, 5, 0, &[5.0 * (k + 1) as f64]);
@@ -223,7 +250,11 @@ fn fallback_decisions_are_recorded() {
         assert_eq!(lb.engines[leaf].ab_stats().ab_reductions, 0);
     }
     for internal in [2usize, 4, 6] {
-        assert_eq!(lb.engines[internal].ab_stats().ab_reductions, 1, "rank {internal}");
+        assert_eq!(
+            lb.engines[internal].ab_stats().ab_reductions,
+            1,
+            "rank {internal}"
+        );
     }
 }
 
@@ -297,7 +328,14 @@ fn copy_savings_are_visible_in_stats() {
         .sum();
     // Internal nodes 2, 4, 6 have 1 + 2 + 1 = 4 children between them; each
     // child processed through bypass saves at least one copy.
-    assert_eq!(total_zero_copy + lb.engines.iter().map(|e| e.ab_stats().ab_unexpected_parked).sum::<u64>(), 4);
+    assert_eq!(
+        total_zero_copy
+            + lb.engines
+                .iter()
+                .map(|e| e.ab_stats().ab_unexpected_parked)
+                .sum::<u64>(),
+        4
+    );
     assert!(total_saved >= 4);
 }
 
@@ -308,9 +346,18 @@ fn split_phase_root_completes_via_signals_only() {
     let comm = lb.engines[0].world();
     // Root posts the split-phase reduce FIRST, then goes off to "compute":
     // we never call progress() on it again.
-    let r0 = lb.engines[0].ireduce_split(&comm, 0, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(&[0.0]));
+    let r0 = lb.engines[0].ireduce_split(
+        &comm,
+        0,
+        ReduceOp::Sum,
+        Datatype::F64,
+        &f64s_to_bytes(&[0.0]),
+    );
     assert!(!lb.engines[0].test(r0));
-    assert!(lb.engines[0].signals_enabled(), "split root arms signals immediately");
+    assert!(
+        lb.engines[0].signals_enabled(),
+        "split root arms signals immediately"
+    );
     let mut others = Vec::new();
     for r in 1..n as usize {
         others.push((r, reduce_call(&mut lb, r, 0, &[r as f64])));
@@ -342,13 +389,21 @@ fn delay_policy_reports_bounded_block_budget() {
         8,
         AbConfig {
             enabled: true,
-            delay: DelayPolicy::PerProcess { us_per_process: 2.0 },
+            delay: DelayPolicy::PerProcess {
+                us_per_process: 2.0,
+            },
             nic_offload: false,
         },
     );
     let comm = lb.engines[2].world();
     // Internal node 2 with no children arrived: hint = 16us for 8 procs.
-    let req = lb.engines[2].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(&[1.0]));
+    let req = lb.engines[2].ireduce(
+        &comm,
+        0,
+        ReduceOp::Sum,
+        Datatype::F64,
+        &f64s_to_bytes(&[1.0]),
+    );
     assert!(!lb.engines[2].test(req));
     let hint = lb.engines[2].bounded_block_hint(req);
     assert_eq!(hint, Some(abr_des::SimDuration::from_us(16)));
@@ -362,11 +417,20 @@ fn delay_policy_reports_bounded_block_budget() {
 fn ab_and_baseline_agree_on_results() {
     for n in [2u32, 5, 8, 16] {
         let run = |ab: bool| -> Vec<f64> {
-            let cfg = if ab { AbConfig::default() } else { AbConfig::disabled() };
+            let cfg = if ab {
+                AbConfig::default()
+            } else {
+                AbConfig::disabled()
+            };
             let mut lb = ab_world(n, cfg);
             let reqs: Vec<_> = (0..n as usize)
                 .rev()
-                .map(|r| (r, reduce_call(&mut lb, r, 1 % n, &[r as f64 + 0.5, -(r as f64)])))
+                .map(|r| {
+                    (
+                        r,
+                        reduce_call(&mut lb, r, 1 % n, &[r as f64 + 0.5, -(r as f64)]),
+                    )
+                })
                 .collect();
             lb.run_until_complete(&reqs, 4000);
             let root = (1 % n) as usize;

@@ -69,8 +69,15 @@ fn split_allreduce_completes_without_explicit_polling() {
             other => panic!("rank {r}: {other:?}"),
         }
     }
-    let total_signals: u64 = lb.engines.iter().map(|e| e.ab_stats().signals_handled).sum();
-    assert!(total_signals > 0, "the chain must have advanced via signals");
+    let total_signals: u64 = lb
+        .engines
+        .iter()
+        .map(|e| e.ab_stats().signals_handled)
+        .sum();
+    assert!(
+        total_signals > 0,
+        "the chain must have advanced via signals"
+    );
 }
 
 #[test]
@@ -113,7 +120,10 @@ fn split_allreduce_matches_blocking_allreduce() {
     let blocking: Vec<_> = (0..n as usize)
         .map(|r| {
             let data = f64s_to_bytes(&[r as f64 * 1.5, -2.0]);
-            (r, lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &data))
+            (
+                r,
+                lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &data),
+            )
         })
         .collect();
     lb.run_until_complete(&blocking, 10_000);
@@ -145,7 +155,13 @@ fn split_allreduce_interleaves_with_other_collectives() {
         allred.push((r, a));
         all.push((r, a));
         // A plain bypassed reduce in between.
-        let q = lb.engines[r].ireduce(&comm, 0, ReduceOp::Max, Datatype::F64, &f64s_to_bytes(&[r as f64]));
+        let q = lb.engines[r].ireduce(
+            &comm,
+            0,
+            ReduceOp::Max,
+            Datatype::F64,
+            &f64s_to_bytes(&[r as f64]),
+        );
         if !lb.engines[r].test(q) && lb.engines[r].bounded_block_hint(q).is_some() {
             lb.engines[r].split_phase_exit(q);
         }
@@ -160,7 +176,9 @@ fn split_allreduce_interleaves_with_other_collectives() {
     lb.run_until_complete(&all, 20_000);
     for (r, id) in allred {
         match lb.engines[r].take_outcome(id) {
-            Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![2.0 * n as f64], "rank {r}"),
+            Some(Outcome::Data(d)) => {
+                assert_eq!(bytes_to_f64s(&d), vec![2.0 * n as f64], "rank {r}")
+            }
             other => panic!("rank {r}: {other:?}"),
         }
     }

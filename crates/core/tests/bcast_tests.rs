@@ -18,7 +18,12 @@ fn ab_world(n: u32) -> Loopback<AbEngine> {
     lb
 }
 
-fn post_bcast(lb: &mut Loopback<AbEngine>, rank: usize, root: u32, payload: &Bytes) -> abr_mpr::ReqId {
+fn post_bcast(
+    lb: &mut Loopback<AbEngine>,
+    rank: usize,
+    root: u32,
+    payload: &Bytes,
+) -> abr_mpr::ReqId {
     let comm = lb.engines[rank].world();
     let data = (rank as u32 == root).then(|| payload.clone());
     lb.engines[rank].ibcast_split(&comm, root, data, payload.len())
@@ -68,7 +73,9 @@ fn interior_node_posts_before_root_and_completes_via_signal() {
         );
     }
     for r in 1..n as usize {
-        if !abr_mpr::tree::is_leaf(r as u32, 0, n) || !abr_mpr::tree::children(r as u32, 0, n).is_empty() {
+        if !abr_mpr::tree::is_leaf(r as u32, 0, n)
+            || !abr_mpr::tree::children(r as u32, 0, n).is_empty()
+        {
             // every non-root registered exactly one wait
             assert_eq!(lb.engines[r].bcast_wait_queue().len(), 1, "rank {r}");
         }
@@ -112,7 +119,10 @@ fn early_broadcast_data_parks_and_is_swept_by_the_call() {
     lb.engines[1].progress();
     assert_eq!(lb.engines[1].ab_unexpected_queue().len(), 1);
     let r1 = post_bcast(&mut lb, 1, 0, &payload);
-    assert!(lb.engines[1].test(r1), "parked data completes the call at post");
+    assert!(
+        lb.engines[1].test(r1),
+        "parked data completes the call at post"
+    );
     let r2 = post_bcast(&mut lb, 2, 0, &payload);
     let r3 = post_bcast(&mut lb, 3, 0, &payload);
     lb.run_until_complete(&[(0, r0), (1, r1), (2, r2), (3, r3)], 2000);
@@ -210,7 +220,11 @@ fn oversized_split_bcast_falls_back_to_blocking() {
             Some(Outcome::Data(d)) => assert_eq!(d.len(), payload.len(), "rank {r}"),
             other => panic!("rank {r}: {other:?}"),
         }
-        assert_eq!(lb.engines[r].ab_stats().bcast_splits, 0, "fallback must not count");
+        assert_eq!(
+            lb.engines[r].ab_stats().bcast_splits,
+            0,
+            "fallback must not count"
+        );
         assert!(lb.engines[r].inner().memory().is_balanced());
     }
 }

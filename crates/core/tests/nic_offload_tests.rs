@@ -19,10 +19,20 @@ fn nic_world(n: u32) -> Loopback<AbEngine> {
     lb
 }
 
-fn reduce_call(lb: &mut Loopback<AbEngine>, rank: usize, root: u32, data: &[f64]) -> abr_mpr::ReqId {
+fn reduce_call(
+    lb: &mut Loopback<AbEngine>,
+    rank: usize,
+    root: u32,
+    data: &[f64],
+) -> abr_mpr::ReqId {
     let comm = lb.engines[rank].world();
-    let req =
-        lb.engines[rank].ireduce(&comm, root, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(data));
+    let req = lb.engines[rank].ireduce(
+        &comm,
+        root,
+        ReduceOp::Sum,
+        Datatype::F64,
+        &f64s_to_bytes(data),
+    );
     if !lb.engines[rank].test(req) && lb.engines[rank].bounded_block_hint(req).is_some() {
         lb.engines[rank].split_phase_exit(req);
     }
@@ -51,13 +61,23 @@ fn nic_consumes_late_children_without_host_involvement() {
         }
         other => panic!("{other:?}"),
     }
-    assert!(lb.nic_consumed > 0, "the NIC must have consumed late children");
+    assert!(
+        lb.nic_consumed > 0,
+        "the NIC must have consumed late children"
+    );
     assert_eq!(lb.signals_fired, 0, "NIC offload never signals the host");
     let nic_children: u64 = lb.engines.iter().map(|e| e.ab_stats().nic_children).sum();
-    assert!(nic_children >= 3, "internal nodes' children handled on NIC: {nic_children}");
+    assert!(
+        nic_children >= 3,
+        "internal nodes' children handled on NIC: {nic_children}"
+    );
     for e in &lb.engines {
         assert!(e.descriptor_queue().is_empty());
-        assert!(!e.signals_enabled(), "rank {}: signals should stay off", e.rank());
+        assert!(
+            !e.signals_enabled(),
+            "rank {}: signals should stay off",
+            e.rank()
+        );
     }
 }
 
@@ -130,5 +150,8 @@ fn nic_root_fallback_still_passes_to_host() {
         Some(Outcome::Data(d)) => assert_eq!(bytes_to_f64s(&d), vec![3.0]),
         other => panic!("{other:?}"),
     }
-    assert_eq!(lb.nic_consumed, 0, "2 ranks: no internal nodes, no NIC work");
+    assert_eq!(
+        lb.nic_consumed, 0,
+        "2 ranks: no internal nodes, no NIC work"
+    );
 }

@@ -64,10 +64,20 @@ proptest! {
 }
 
 /// Post a reduce the way a delay-zero driver would.
-fn reduce_call(lb: &mut Loopback<AbEngine>, rank: usize, root: u32, data: &[f64]) -> abr_mpr::ReqId {
+fn reduce_call(
+    lb: &mut Loopback<AbEngine>,
+    rank: usize,
+    root: u32,
+    data: &[f64],
+) -> abr_mpr::ReqId {
     let comm = lb.engines[rank].world();
-    let req =
-        lb.engines[rank].ireduce(&comm, root, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(data));
+    let req = lb.engines[rank].ireduce(
+        &comm,
+        root,
+        ReduceOp::Sum,
+        Datatype::F64,
+        &f64s_to_bytes(data),
+    );
     if !lb.engines[rank].test(req) && lb.engines[rank].bounded_block_hint(req).is_some() {
         lb.engines[rank].split_phase_exit(req);
     }

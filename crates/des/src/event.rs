@@ -6,15 +6,48 @@
 //! the standard DES technique for modelling preemption — the cluster driver
 //! cancels a node's in-flight "step complete" event and reschedules it later
 //! when a signal handler steals the CPU.
+//!
+//! # Implementation
+//!
+//! Liveness is tracked in a slab of generation-tagged slots rather than hash
+//! sets: an [`EventId`] packs a slot index and the slot's generation at
+//! scheduling time, so `schedule`, `cancel`, and `pop` are all hash-free —
+//! each is a couple of array accesses plus the heap operation. A stale id
+//! (already fired or cancelled) simply fails the generation check.
+//!
+//! Cancelled events leave tombstones in the heap. To keep memory strictly
+//! bounded by the live-event count, the heap is compacted in place whenever
+//! tombstones outnumber live entries, which amortizes to O(1) per
+//! cancellation.
 
 use crate::time::SimTime;
 use std::cmp::Ordering;
 use std::collections::binary_heap::BinaryHeap;
-use std::collections::HashSet;
 
 /// An opaque handle identifying a scheduled event, used to cancel it.
+///
+/// Ids are only meaningful for the queue that issued them. A handle for an
+/// event that has fired or been cancelled is *stale*: using it is safe and
+/// reports "not pending", even if its slot has since been reused.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(u64);
+
+impl EventId {
+    #[inline]
+    fn new(slot: u32, gen: u32) -> Self {
+        EventId(((gen as u64) << 32) | slot as u64)
+    }
+
+    #[inline]
+    fn slot(self) -> u32 {
+        self.0 as u32
+    }
+
+    #[inline]
+    fn gen(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+}
 
 /// An event popped from the queue: when it fires, its id, and its payload.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -27,9 +60,19 @@ pub struct ScheduledEvent<E> {
     pub payload: E,
 }
 
+/// Per-slot liveness record. `gen` increments every time the slot is
+/// reallocated, invalidating ids (and heap entries) from earlier tenancies.
+#[derive(Clone, Copy)]
+struct Slot {
+    gen: u32,
+    live: bool,
+}
+
 struct HeapEntry<E> {
     at: SimTime,
     seq: u64,
+    slot: u32,
+    gen: u32,
     payload: E,
 }
 
@@ -56,12 +99,14 @@ impl<E> Ord for HeapEntry<E> {
 }
 
 /// A priority queue of timestamped events with stable tie-breaking and
-/// O(1)-amortized lazy cancellation.
+/// O(1)-amortized hash-free cancellation.
 pub struct EventQueue<E> {
     heap: BinaryHeap<HeapEntry<E>>,
-    cancelled: HashSet<u64>,
-    /// Ids currently in the heap and not cancelled; makes `cancel` O(1).
-    live: HashSet<u64>,
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    /// Cancelled-but-still-heaped entry count; drives compaction.
+    dead_in_heap: usize,
+    live_count: usize,
     next_seq: u64,
     now: SimTime,
     popped: u64,
@@ -78,8 +123,10 @@ impl<E> EventQueue<E> {
     pub fn new() -> Self {
         EventQueue {
             heap: BinaryHeap::new(),
-            cancelled: HashSet::new(),
-            live: HashSet::new(),
+            slots: Vec::new(),
+            free: Vec::new(),
+            dead_in_heap: 0,
+            live_count: 0,
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
@@ -101,7 +148,7 @@ impl<E> EventQueue<E> {
 
     /// Number of live (not yet popped, not cancelled) events.
     pub fn len(&self) -> usize {
-        self.live.len()
+        self.live_count
     }
 
     /// True if no live events remain.
@@ -122,37 +169,92 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(HeapEntry { at, seq, payload });
-        self.live.insert(seq);
-        EventId(seq)
+        let slot = match self.free.pop() {
+            Some(idx) => {
+                // Bump the generation so stale ids and tombstoned heap
+                // entries from the previous tenant can't touch this event.
+                let s = &mut self.slots[idx as usize];
+                s.gen = s.gen.wrapping_add(1);
+                s.live = true;
+                idx
+            }
+            None => {
+                let idx = self.slots.len() as u32;
+                self.slots.push(Slot { gen: 0, live: true });
+                idx
+            }
+        };
+        let gen = self.slots[slot as usize].gen;
+        self.heap.push(HeapEntry {
+            at,
+            seq,
+            slot,
+            gen,
+            payload,
+        });
+        self.live_count += 1;
+        EventId::new(slot, gen)
+    }
+
+    /// True if the heap entry refers to the current, live tenancy of its
+    /// slot (i.e. it is not a tombstone).
+    #[inline]
+    fn entry_is_live(slots: &[Slot], slot: u32, gen: u32) -> bool {
+        let s = slots[slot as usize];
+        s.gen == gen && s.live
     }
 
     /// Cancel a previously scheduled event. Returns `true` if the event was
     /// still pending (it will now never fire), `false` if it had already
     /// fired or been cancelled.
     pub fn cancel(&mut self, id: EventId) -> bool {
-        if self.live.remove(&id.0) {
-            self.cancelled.insert(id.0);
-            true
-        } else {
-            false
+        let idx = id.slot() as usize;
+        match self.slots.get_mut(idx) {
+            Some(s) if s.gen == id.gen() && s.live => {
+                s.live = false;
+                self.free.push(id.slot());
+                self.live_count -= 1;
+                self.dead_in_heap += 1;
+                self.maybe_compact();
+                true
+            }
+            _ => false,
         }
+    }
+
+    /// Drop tombstones when they outnumber live entries, so heap memory is
+    /// always O(live events). Amortized O(1) per cancellation: a compaction
+    /// costing O(n) only runs after n/2 cancellations.
+    fn maybe_compact(&mut self) {
+        if self.dead_in_heap <= self.live_count || self.dead_in_heap < 64 {
+            return;
+        }
+        let slots = std::mem::take(&mut self.slots);
+        let mut entries = std::mem::take(&mut self.heap).into_vec();
+        entries.retain(|e| Self::entry_is_live(&slots, e.slot, e.gen));
+        entries.shrink_to_fit();
+        self.heap = BinaryHeap::from(entries);
+        self.slots = slots;
+        self.dead_in_heap = 0;
     }
 
     /// Remove and return the earliest live event, advancing the clock to its
     /// timestamp. Returns `None` when the queue is exhausted.
     pub fn pop(&mut self) -> Option<ScheduledEvent<E>> {
         while let Some(entry) = self.heap.pop() {
-            if self.cancelled.remove(&entry.seq) {
+            if !Self::entry_is_live(&self.slots, entry.slot, entry.gen) {
+                self.dead_in_heap -= 1;
                 continue;
             }
-            self.live.remove(&entry.seq);
+            self.slots[entry.slot as usize].live = false;
+            self.free.push(entry.slot);
+            self.live_count -= 1;
             debug_assert!(entry.at >= self.now, "event queue produced time travel");
             self.now = entry.at;
             self.popped += 1;
             return Some(ScheduledEvent {
                 at: entry.at,
-                id: EventId(entry.seq),
+                id: EventId::new(entry.slot, entry.gen),
                 payload: entry.payload,
             });
         }
@@ -161,17 +263,22 @@ impl<E> EventQueue<E> {
 
     /// The timestamp of the next live event without popping it.
     pub fn peek_time(&mut self) -> Option<SimTime> {
-        // Drop cancelled entries from the front so peek is accurate.
+        // Drop tombstones from the front so peek is accurate.
         while let Some(entry) = self.heap.peek() {
-            if self.cancelled.contains(&entry.seq) {
-                let seq = entry.seq;
-                self.heap.pop();
-                self.cancelled.remove(&seq);
-            } else {
+            if Self::entry_is_live(&self.slots, entry.slot, entry.gen) {
                 return Some(entry.at);
             }
+            self.heap.pop();
+            self.dead_in_heap -= 1;
         }
         None
+    }
+
+    /// Internal sizes for memory-bound assertions: (heap entries, slot-slab
+    /// length, free-list length).
+    #[doc(hidden)]
+    pub fn debug_mem(&self) -> (usize, usize, usize) {
+        (self.heap.len(), self.slots.len(), self.free.len())
     }
 }
 
@@ -246,7 +353,21 @@ mod tests {
         let b = q.schedule(us(20), ());
         q.pop();
         assert!(!q.cancel(b), "cancelling a fired event reports false");
-        assert!(!q.cancel(EventId(999)), "unknown id reports false");
+        let bogus = EventId::new(999, 0);
+        assert!(!q.cancel(bogus), "unknown id reports false");
+    }
+
+    #[test]
+    fn stale_id_cannot_cancel_slot_reuser() {
+        // `a` fires, freeing its slot; `c` reuses it. The stale handle for
+        // `a` must not cancel `c`.
+        let mut q = EventQueue::new();
+        let a = q.schedule(us(10), "a");
+        q.pop();
+        let c = q.schedule(us(30), "c");
+        assert_eq!(c.slot(), a.slot(), "test assumes slot reuse");
+        assert!(!q.cancel(a), "stale id must be inert");
+        assert_eq!(q.pop().unwrap().payload, "c");
     }
 
     #[test]
@@ -305,6 +426,61 @@ mod tests {
             log
         };
         assert_eq!(run(), run());
-        assert_eq!(run().iter().map(|&(_, p)| p).collect::<Vec<_>>(), vec![1, 2, 3]);
+        assert_eq!(
+            run().iter().map(|&(_, p)| p).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+    }
+
+    #[test]
+    fn cancellation_memory_is_bounded_by_live_events() {
+        // Sustained cancel/reschedule churn must not grow the heap, the slot
+        // slab, or the free list beyond O(peak live events).
+        let mut q = EventQueue::new();
+        let mut ids = Vec::new();
+        for i in 0..100u64 {
+            ids.push(q.schedule(us(1_000 + i), i));
+        }
+        for round in 0..100_000u64 {
+            let victim = (round % 100) as usize;
+            assert!(q.cancel(ids[victim]));
+            ids[victim] = q.schedule(us(2_000 + round), round);
+        }
+        assert_eq!(q.len(), 100);
+        let (heap_len, slab_len, free_len) = q.debug_mem();
+        assert!(
+            heap_len <= 2 * 100 + 64,
+            "heap grew unboundedly: {heap_len} entries for 100 live events"
+        );
+        assert!(
+            slab_len <= 2 * 100 + 64,
+            "slot slab grew unboundedly: {slab_len} slots for 100 live events"
+        );
+        assert!(free_len <= slab_len, "free list exceeds slab");
+        // Everything still pops, in time order, exactly once.
+        let mut count = 0;
+        let mut last = q.now();
+        while let Some(e) = q.pop() {
+            assert!(e.at >= last);
+            last = e.at;
+            count += 1;
+        }
+        assert_eq!(count, 100);
+    }
+
+    #[test]
+    fn pop_reclaims_slots_for_reuse() {
+        let mut q = EventQueue::new();
+        for wave in 0..50u64 {
+            for i in 0..10u64 {
+                q.schedule(us(wave * 10 + i + 1), i);
+            }
+            for _ in 0..10 {
+                q.pop().unwrap();
+            }
+        }
+        let (heap_len, slab_len, _) = q.debug_mem();
+        assert_eq!(heap_len, 0);
+        assert!(slab_len <= 10, "slots not reused across waves: {slab_len}");
     }
 }

@@ -224,7 +224,10 @@ mod tests {
     fn signal_cost_is_several_microseconds() {
         let c = CostModel::default();
         let s = c.signal_cost().as_us_f64();
-        assert!((2.0..20.0).contains(&s), "signal cost {s}us out of plausible range");
+        assert!(
+            (2.0..20.0).contains(&s),
+            "signal cost {s}us out of plausible range"
+        );
     }
 
     #[test]

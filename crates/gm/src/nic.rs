@@ -176,7 +176,11 @@ impl Network {
         let rest = self.delivery_delay(src, dst, packet) - self.tx_time(src, packet);
         let nominal = tx_done + rest;
         let key = (src_id, packet.header.dst.0);
-        let floor = self.last_delivery.get(&key).copied().unwrap_or(SimTime::ZERO);
+        let floor = self
+            .last_delivery
+            .get(&key)
+            .copied()
+            .unwrap_or(SimTime::ZERO);
         let arrival = nominal.max(floor);
         self.last_delivery.insert(key, arrival);
         self.packets_carried += 1;
@@ -270,13 +274,11 @@ mod tests {
         // nominal arrival would be earlier, but FIFO must hold.
         let t0 = SimTime::from_us(100);
         let big = net.delivery_time(t0, &hw, &hw, &packet(0, 1, 64 * 1024));
-        let small = net.delivery_time(
-            t0 + SimDuration::from_us(1),
-            &hw,
-            &hw,
-            &packet(0, 1, 8),
+        let small = net.delivery_time(t0 + SimDuration::from_us(1), &hw, &hw, &packet(0, 1, 8));
+        assert!(
+            small >= big,
+            "FIFO violated: small {small:?} before big {big:?}"
         );
-        assert!(small >= big, "FIFO violated: small {small:?} before big {big:?}");
     }
 
     #[test]

@@ -111,7 +111,8 @@ impl Packet {
             "control packets must not carry payload"
         );
         debug_assert!(
-            !header.kind.carries_payload() || payload.len() == header.msg_len as usize
+            !header.kind.carries_payload()
+                || payload.len() == header.msg_len as usize
                 || header.kind == PacketKind::RendezvousData,
             "payload length {} disagrees with header msg_len {}",
             payload.len(),
@@ -144,7 +145,7 @@ mod tests {
             context: 7,
             tag: 3,
             coll_seq: 0,
-                coll_root: 0,
+            coll_root: 0,
             msg_len: len,
             wire_seq: 0,
         }

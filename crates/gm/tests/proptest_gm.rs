@@ -2,12 +2,12 @@
 //! traffic, cost-model monotonicity, and the memory registry against a
 //! reference model.
 
+use abr_des::{SimDuration, SimTime};
 use abr_gm::cost::CostModel;
 use abr_gm::memory::MemoryRegistry;
 use abr_gm::nic::{Network, NodeHw};
 use abr_gm::packet::{NodeId, Packet, PacketHeader, PacketKind};
 use abr_gm::signal::SignalControl;
-use abr_des::{SimDuration, SimTime};
 use bytes::Bytes;
 use proptest::prelude::*;
 use std::collections::HashMap;

@@ -290,6 +290,16 @@ impl Engine {
         std::mem::take(&mut self.actions)
     }
 
+    /// Drain queued actions into `out`, preserving order.
+    ///
+    /// Unlike [`Engine::drain_actions`] this allocates nothing: the
+    /// engine's internal buffer keeps its capacity, so a driver that calls
+    /// this every progress step with a reused scratch vector stays
+    /// allocation-free at steady state.
+    pub fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
+        out.append(&mut self.actions);
+    }
+
     /// Drain accumulated CPU charges.
     pub fn take_charges(&mut self) -> Charges {
         self.charges.take()
@@ -375,7 +385,11 @@ impl Engine {
         coll_seq: u64,
         coll_root: Rank,
     ) -> ReqId {
-        debug_assert!(dst < self.size, "send to rank {dst} outside 0..{}", self.size);
+        debug_assert!(
+            dst < self.size,
+            "send to rank {dst} outside 0..{}",
+            self.size
+        );
         let id = self.fresh_req();
         if data.len() <= self.config.eager_limit {
             // Eager: copy into the pre-pinned bounce buffer, hand to NIC,
@@ -421,7 +435,8 @@ impl Engine {
                 msg_len: data.len() as u32,
                 wire_seq: 0,
             };
-            self.actions.push(Action::Send(Packet::new(header, Bytes::new())));
+            self.actions
+                .push(Action::Send(Packet::new(header, Bytes::new())));
             self.stats.rndv_sent += 1;
             self.pending_rndv_sends.insert(xfer_id, id);
             self.requests.insert(
@@ -450,8 +465,10 @@ impl Engine {
         expect_coll_seq: Option<u64>,
     ) -> ReqId {
         let id = self.fresh_req();
-        self.requests
-            .insert(id.raw(), Request::new(RequestBody::Recv(RecvState::default())));
+        self.requests.insert(
+            id.raw(),
+            Request::new(RequestBody::Recv(RecvState::default())),
+        );
         // MPI_Recv semantics: search the unexpected queue first (§III).
         self.charge(CpuCategory::Protocol, self.config.cost.matching());
         if let Some(msg) = self.unexpected.take_match(src, tag, context) {
@@ -754,7 +771,8 @@ impl Engine {
                 "scatter buffer must be size*block bytes"
             );
             for dst in 0..comm.size {
-                let chunk = Bytes::from(data[dst as usize * block..(dst as usize + 1) * block].to_vec());
+                let chunk =
+                    Bytes::from(data[dst as usize * block..(dst as usize + 1) * block].to_vec());
                 if dst == root {
                     state.own = Some(chunk);
                 } else {
@@ -1182,7 +1200,8 @@ impl Engine {
             msg_len: msg_len as u32,
             wire_seq: 0,
         };
-        self.actions.push(Action::Send(Packet::new(header, Bytes::new())));
+        self.actions
+            .push(Action::Send(Packet::new(header, Bytes::new())));
     }
 
     fn process_cts(&mut self, pkt: Packet) {
@@ -1217,7 +1236,9 @@ impl Engine {
         self.actions.push(Action::Send(Packet::new(header, data)));
         let unpin = self.config.cost.unpin();
         self.charge(CpuCategory::Protocol, unpin);
-        self.memory.deregister(region).expect("send region vanished");
+        self.memory
+            .deregister(region)
+            .expect("send region vanished");
         if let Some(r) = self.requests.get_mut(&req.raw()) {
             r.outcome = Some(Outcome::Done);
         }
@@ -1239,7 +1260,9 @@ impl Engine {
         if let Some(region) = region {
             let unpin = self.config.cost.unpin();
             self.charge(CpuCategory::Protocol, unpin);
-            self.memory.deregister(region).expect("recv region vanished");
+            self.memory
+                .deregister(region)
+                .expect("recv region vanished");
         }
         // DMA landed in the pinned user buffer: zero host copies.
         self.complete_recv(req, pkt.payload);
@@ -1486,8 +1509,13 @@ impl Engine {
                 let done = self.poll_sub(send);
                 debug_assert!(matches!(done, Some(Outcome::Done)));
                 let from = (s.rank + s.size - dist) % s.size;
-                let req =
-                    self.irecv_internal(Some(from), TagSel::Is(tag), s.context, 0, Some(s.coll_seq));
+                let req = self.irecv_internal(
+                    Some(from),
+                    TagSel::Is(tag),
+                    s.context,
+                    0,
+                    Some(s.coll_seq),
+                );
                 s.recv_req = Some(req);
                 progressed = true;
             }
@@ -1581,8 +1609,13 @@ impl Engine {
                                 size: g.size,
                             };
                             let bcast_seq = g.coll_seq + 1; // pre-allocated
-                            let state =
-                                self.make_bcast_state(&comm_like, 0, Some(d), s.total_len, bcast_seq);
+                            let state = self.make_bcast_state(
+                                &comm_like,
+                                0,
+                                Some(d),
+                                s.total_len,
+                                bcast_seq,
+                            );
                             s.phase = AllgatherPhase::Bcast(state);
                             continue;
                         }
@@ -1621,13 +1654,8 @@ impl Engine {
                                 size: r.size,
                             };
                             let bcast_seq = r.coll_seq + 1; // pre-allocated in iallreduce
-                            let state = self.make_bcast_state(
-                                &comm_like,
-                                0,
-                                Some(d),
-                                s.len,
-                                bcast_seq,
-                            );
+                            let state =
+                                self.make_bcast_state(&comm_like, 0, Some(d), s.len, bcast_seq);
                             s.phase = AllreducePhase::Bcast(state);
                             continue;
                         }
@@ -1673,6 +1701,12 @@ pub trait MessageEngine {
     fn handle_signal(&mut self) -> bool;
     /// Drain pending actions.
     fn drain_actions(&mut self) -> Vec<Action>;
+    /// Drain pending actions into `out`, preserving order. Implementations
+    /// should forward to an allocation-free append; the default falls back
+    /// to [`MessageEngine::drain_actions`].
+    fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
+        out.append(&mut self.drain_actions());
+    }
     /// Drain accumulated CPU charges.
     fn take_charges(&mut self) -> Charges;
     /// Has the request completed?
@@ -1783,6 +1817,9 @@ impl MessageEngine for Engine {
     }
     fn drain_actions(&mut self) -> Vec<Action> {
         Engine::drain_actions(self)
+    }
+    fn drain_actions_into(&mut self, out: &mut Vec<Action>) {
+        Engine::drain_actions_into(self, out)
     }
     fn take_charges(&mut self) -> Charges {
         Engine::take_charges(self)

@@ -61,12 +61,7 @@ impl ReduceOp {
     /// Returns [`MprError::InvalidOpForType`] for undefined combinations and
     /// [`MprError::ShapeMismatch`] when the buffers disagree in length or
     /// are not whole elements.
-    pub fn apply(
-        self,
-        dtype: Datatype,
-        acc: &mut [u8],
-        operand: &[u8],
-    ) -> Result<(), MprError> {
+    pub fn apply(self, dtype: Datatype, acc: &mut [u8], operand: &[u8]) -> Result<(), MprError> {
         if acc.len() != operand.len() {
             return Err(MprError::ShapeMismatch {
                 expected: acc.len(),
@@ -86,15 +81,15 @@ impl ReduceOp {
             });
         }
         match dtype {
-            Datatype::F64 => apply_typed::<f64, 8>(self, acc, operand, f64::from_le_bytes, |v| {
-                v.to_le_bytes()
-            }),
-            Datatype::I64 => apply_typed::<i64, 8>(self, acc, operand, i64::from_le_bytes, |v| {
-                v.to_le_bytes()
-            }),
-            Datatype::I32 => apply_typed::<i32, 4>(self, acc, operand, i32::from_le_bytes, |v| {
-                v.to_le_bytes()
-            }),
+            Datatype::F64 => {
+                apply_typed::<f64, 8>(self, acc, operand, f64::from_le_bytes, |v| v.to_le_bytes())
+            }
+            Datatype::I64 => {
+                apply_typed::<i64, 8>(self, acc, operand, i64::from_le_bytes, |v| v.to_le_bytes())
+            }
+            Datatype::I32 => {
+                apply_typed::<i32, 4>(self, acc, operand, i32::from_le_bytes, |v| v.to_le_bytes())
+            }
             Datatype::U8 => apply_typed::<u8, 1>(self, acc, operand, |b| b[0], |v| [v]),
         }
         Ok(())
@@ -238,7 +233,9 @@ mod tests {
         let mut acc = i32s_to_bytes(&[0b1100, 0b1010]);
         let rhs = i32s_to_bytes(&[0b1010, 0b0110]);
         let mut band = acc.clone();
-        ReduceOp::BAnd.apply(Datatype::I32, &mut band, &rhs).unwrap();
+        ReduceOp::BAnd
+            .apply(Datatype::I32, &mut band, &rhs)
+            .unwrap();
         assert_eq!(bytes_to_i32s(&band), vec![0b1000, 0b0010]);
         let mut bor = acc.clone();
         ReduceOp::BOr.apply(Datatype::I32, &mut bor, &rhs).unwrap();
@@ -252,7 +249,9 @@ mod tests {
         let mut acc = i32s_to_bytes(&[5, 0, 7, 0]);
         let rhs = i32s_to_bytes(&[3, 2, 0, 0]);
         let mut land = acc.clone();
-        ReduceOp::LAnd.apply(Datatype::I32, &mut land, &rhs).unwrap();
+        ReduceOp::LAnd
+            .apply(Datatype::I32, &mut land, &rhs)
+            .unwrap();
         assert_eq!(bytes_to_i32s(&land), vec![1, 0, 0, 0]);
         ReduceOp::LOr.apply(Datatype::I32, &mut acc, &rhs).unwrap();
         assert_eq!(bytes_to_i32s(&acc), vec![1, 1, 1, 0]);
@@ -261,7 +260,9 @@ mod tests {
     #[test]
     fn u8_sum_wraps() {
         let mut acc = vec![250u8, 1];
-        ReduceOp::Sum.apply(Datatype::U8, &mut acc, &[10, 2]).unwrap();
+        ReduceOp::Sum
+            .apply(Datatype::U8, &mut acc, &[10, 2])
+            .unwrap();
         assert_eq!(acc, vec![4, 3]);
     }
 
@@ -277,7 +278,13 @@ mod tests {
     fn bitwise_on_f64_is_rejected() {
         let mut acc = f64s_to_bytes(&[1.0]);
         let rhs = acc.clone();
-        for op in [ReduceOp::BAnd, ReduceOp::BOr, ReduceOp::BXor, ReduceOp::LAnd, ReduceOp::LOr] {
+        for op in [
+            ReduceOp::BAnd,
+            ReduceOp::BOr,
+            ReduceOp::BXor,
+            ReduceOp::LAnd,
+            ReduceOp::LOr,
+        ] {
             let err = op.apply(Datatype::F64, &mut acc, &rhs).unwrap_err();
             assert!(matches!(err, MprError::InvalidOpForType { .. }), "{op:?}");
         }

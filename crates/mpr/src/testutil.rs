@@ -152,9 +152,7 @@ impl<E: MessageEngine> Loopback<E> {
                 self.nic_consumed += 1;
                 continue;
             };
-            let signal = self.signal_dispatch
-                && self.signals_enabled[dst]
-                && p.generates_signal();
+            let signal = self.signal_dispatch && self.signals_enabled[dst] && p.generates_signal();
             self.engines[dst].deliver(p);
             if signal {
                 self.signals_fired += 1;

@@ -162,7 +162,10 @@ impl fmt::Display for MprError {
                 write!(f, "operator {op} is undefined for {dtype:?}")
             }
             MprError::ShapeMismatch { expected, actual } => {
-                write!(f, "buffer shape mismatch: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "buffer shape mismatch: expected {expected} bytes, got {actual}"
+                )
             }
         }
     }

@@ -65,10 +65,7 @@ fn wildcard_source_and_tag() {
     let ra = lb.engines[0].irecv(&comm, None, TagSel::Any, 8);
     let rb = lb.engines[0].irecv(&comm, None, TagSel::Any, 8);
     lb.run_until_complete(&[(1, s1), (2, s2), (0, ra), (0, rb)], 100);
-    let mut got: Vec<u8> = vec![
-        lb.expect_data(0, ra)[0],
-        lb.expect_data(0, rb)[0],
-    ];
+    let mut got: Vec<u8> = vec![lb.expect_data(0, ra)[0], lb.expect_data(0, rb)[0]];
     got.sort_unstable();
     assert_eq!(got, vec![1, 2]);
 }
@@ -134,18 +131,16 @@ fn rendezvous_truncation_detected_at_rts() {
     }
 }
 
-fn run_reduce(
-    n: u32,
-    root: u32,
-    op: ReduceOp,
-    inputs: &[Vec<f64>],
-) -> Vec<f64> {
+fn run_reduce(n: u32, root: u32, op: ReduceOp, inputs: &[Vec<f64>]) -> Vec<f64> {
     let mut lb = world(n);
     let comm = lb.engines[0].world();
     let reqs: Vec<_> = (0..n as usize)
         .map(|r| {
             let data = f64s_to_bytes(&inputs[r]);
-            (r, lb.engines[r].ireduce(&comm, root, op, Datatype::F64, &data))
+            (
+                r,
+                lb.engines[r].ireduce(&comm, root, op, Datatype::F64, &data),
+            )
         })
         .collect();
     lb.run_until_complete(&reqs, 2000);
@@ -200,7 +195,10 @@ fn reduce_large_message_uses_rendezvous() {
     let reqs: Vec<_> = (0..n as usize)
         .map(|r| {
             let data = f64s_to_bytes(&vec![1.0; elems]);
-            (r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data))
+            (
+                r,
+                lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data),
+            )
         })
         .collect();
     lb.run_until_complete(&reqs, 5000);
@@ -226,11 +224,17 @@ fn reduce_large_message_with_early_rts() {
     // ranks 0 and 2 early.
     for r in [1usize, 3, 2] {
         let data = f64s_to_bytes(&vec![r as f64; elems]);
-        reqs.push((r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data)));
+        reqs.push((
+            r,
+            lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data),
+        ));
         lb.run_to_quiescence(100);
     }
     let data = f64s_to_bytes(&vec![0.0; elems]);
-    reqs.push((0, lb.engines[0].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data)));
+    reqs.push((
+        0,
+        lb.engines[0].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data),
+    ));
     lb.run_until_complete(&reqs, 10_000);
     let res = bytes_to_f64s(&lb.expect_data(0, reqs[3].1));
     assert!(res.iter().all(|&x| x == 6.0), "sum of ranks 0..4");
@@ -283,7 +287,10 @@ fn allreduce_gives_everyone_the_sum() {
         let reqs: Vec<_> = (0..n as usize)
             .map(|r| {
                 let data = f64s_to_bytes(&[r as f64, 2.0]);
-                (r, lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &data))
+                (
+                    r,
+                    lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &data),
+                )
             })
             .collect();
         lb.run_until_complete(&reqs, 4000);
@@ -307,7 +314,10 @@ fn back_to_back_reduces_keep_instances_straight() {
         let reqs: Vec<_> = (0..n as usize)
             .map(|r| {
                 let data = f64s_to_bytes(&[(r as f64) * (k as f64 + 1.0)]);
-                (r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data))
+                (
+                    r,
+                    lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data),
+                )
             })
             .collect();
         reqs_per_round.push(reqs);
@@ -330,7 +340,10 @@ fn integer_allreduce_band() {
     let reqs: Vec<_> = (0..n as usize)
         .map(|r| {
             let data = abr_mpr::types::i32s_to_bytes(&[inputs[r]]);
-            (r, lb.engines[r].iallreduce(&comm, ReduceOp::BAnd, Datatype::I32, &data))
+            (
+                r,
+                lb.engines[r].iallreduce(&comm, ReduceOp::BAnd, Datatype::I32, &data),
+            )
         })
         .collect();
     lb.run_until_complete(&reqs, 2000);
@@ -347,7 +360,10 @@ fn reduce_charges_cpu_work() {
     let reqs: Vec<_> = (0..4usize)
         .map(|r| {
             let data = f64s_to_bytes(&[1.0; 32]);
-            (r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data))
+            (
+                r,
+                lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data),
+            )
         })
         .collect();
     lb.run_until_complete(&reqs, 1000);
@@ -368,7 +384,10 @@ fn no_request_leaks_after_collectives() {
     for _ in 0..3 {
         for r in 0..n as usize {
             let data = f64s_to_bytes(&[1.0]);
-            all.push((r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data)));
+            all.push((
+                r,
+                lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &data),
+            ));
         }
         for r in 0..n as usize {
             all.push((r, lb.engines[r].ibarrier(&comm)));
@@ -379,12 +398,7 @@ fn no_request_leaks_after_collectives() {
         let _ = lb.engines[r].take_outcome(id);
     }
     for e in &lb.engines {
-        assert_eq!(
-            e.live_requests(),
-            0,
-            "rank {} leaked requests",
-            e.rank()
-        );
+        assert_eq!(e.live_requests(), 0, "rank {} leaked requests", e.rank());
     }
 }
 

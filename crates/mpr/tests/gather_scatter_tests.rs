@@ -57,7 +57,11 @@ fn scatter_distributes_blocks() {
             for (r, id) in reqs {
                 match lb.engines[r].take_outcome(id) {
                     Some(Outcome::Data(d)) => {
-                        assert_eq!(bytes_to_f64s(&d), vec![100.0 + r as f64], "n={n} root={root}")
+                        assert_eq!(
+                            bytes_to_f64s(&d),
+                            vec![100.0 + r as f64],
+                            "n={n} root={root}"
+                        )
                     }
                     other => panic!("n={n} root={root} rank={r}: {other:?}"),
                 }

@@ -1,0 +1,205 @@
+//! Property test: the bucketed match queues are observationally equivalent
+//! to the straightforward linear-scan implementation they replaced.
+//!
+//! The reference model here *is* that old implementation — a flat list per
+//! queue, matched front-to-back with `position()`. Random interleavings of
+//! posts, arrivals, wildcard/exact receives, and cancels must produce
+//! identical match decisions, in identical order, from both.
+
+use abr_gm::packet::PacketKind;
+use abr_mpr::matchq::{MsgKey, PostedQueue, PostedRecv, UnexpectedMsg, UnexpectedQueue};
+use abr_mpr::types::{Rank, TagSel};
+use abr_mpr::ReqId;
+use bytes::Bytes;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Post a receive with the given selectors.
+    Post {
+        src: Option<Rank>,
+        tag: TagSel,
+        ctx: u32,
+    },
+    /// A message arrives: match against posted receives, else park it
+    /// unexpected.
+    Arrive { src: Rank, tag: i32, ctx: u32 },
+    /// A receive is issued against the unexpected queue.
+    Recv {
+        src: Option<Rank>,
+        tag: TagSel,
+        ctx: u32,
+    },
+    /// Cancel the nth request id issued so far (may already be gone).
+    Cancel { nth: u64 },
+}
+
+/// The pre-bucketing linear-scan model, verbatim semantics.
+#[derive(Default)]
+struct RefModel {
+    posted: Vec<PostedRecv>,
+    unexpected: Vec<UnexpectedMsg>,
+}
+
+impl RefModel {
+    fn take_posted(&mut self, key: &MsgKey) -> Option<PostedRecv> {
+        let idx = self.posted.iter().position(|p| {
+            p.context == key.context && p.src.is_none_or(|s| s == key.src) && p.tag.accepts(key.tag)
+        })?;
+        Some(self.posted.remove(idx))
+    }
+
+    fn cancel(&mut self, id: ReqId) -> bool {
+        if let Some(idx) = self.posted.iter().position(|p| p.id == id) {
+            self.posted.remove(idx);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn take_unexpected(
+        &mut self,
+        src: Option<Rank>,
+        tag: TagSel,
+        ctx: u32,
+    ) -> Option<UnexpectedMsg> {
+        let idx = self.unexpected.iter().position(|m| {
+            m.context == ctx && src.is_none_or(|s| s == m.src) && tag.accepts(m.tag)
+        })?;
+        Some(self.unexpected.remove(idx))
+    }
+}
+
+fn msg(src: Rank, tag: i32, ctx: u32, serial: u64) -> UnexpectedMsg {
+    UnexpectedMsg {
+        src,
+        tag,
+        context: ctx,
+        kind: PacketKind::Eager,
+        coll_seq: serial, // unique serial so equivalence can track identity
+        data: Bytes::new(),
+        msg_len: 0,
+    }
+}
+
+// Small selector domains so wildcard/exact collisions are common.
+fn op_strategy() -> BoxedStrategy<Op> {
+    prop_oneof![
+        (0u32..4, 0i32..4, 0u32..2).prop_map(|(s, t, c)| Op::Post {
+            src: s.checked_sub(1),
+            tag: if t == 0 {
+                TagSel::Any
+            } else {
+                TagSel::Is(t - 1)
+            },
+            ctx: c,
+        }),
+        (0u32..3, 0i32..3, 0u32..2).prop_map(|(s, t, c)| Op::Arrive {
+            src: s,
+            tag: t,
+            ctx: c
+        }),
+        (0u32..4, 0i32..4, 0u32..2).prop_map(|(s, t, c)| Op::Recv {
+            src: s.checked_sub(1),
+            tag: if t == 0 {
+                TagSel::Any
+            } else {
+                TagSel::Is(t - 1)
+            },
+            ctx: c,
+        }),
+        (0u64..64).prop_map(|nth| Op::Cancel { nth }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Random interleavings of post/arrive/recv/cancel must produce the
+    /// same match decisions as the linear-scan model, in the same order.
+    #[test]
+    fn bucketed_queues_match_linear_reference(
+        // Long enough that runs routinely push both queues past the
+        // small-queue scan threshold and into the bucketed probe path.
+        ops in prop::collection::vec(op_strategy(), 0..160),
+    ) {
+        let mut posted = PostedQueue::new();
+        let mut unexpected = UnexpectedQueue::new();
+        let mut reference = RefModel::default();
+        let mut next_id = 0u64;
+        let mut next_serial = 0u64;
+
+        for op in &ops {
+            match *op {
+                Op::Post { src, tag, ctx } => {
+                    let recv = PostedRecv {
+                        id: ReqId::from_raw(next_id),
+                        src,
+                        tag,
+                        context: ctx,
+                        capacity: 64,
+                        expect_coll_seq: None,
+                    };
+                    next_id += 1;
+                    posted.post(recv.clone());
+                    reference.posted.push(recv);
+                }
+                Op::Arrive { src, tag, ctx } => {
+                    let key = MsgKey { src, tag, context: ctx };
+                    let got = posted.take_match(&key);
+                    let want = reference.take_posted(&key);
+                    prop_assert_eq!(
+                        got.as_ref().map(|p| p.id),
+                        want.as_ref().map(|p| p.id),
+                        "posted match diverged for {:?}",
+                        key
+                    );
+                    if got.is_none() {
+                        let m = msg(src, tag, ctx, next_serial);
+                        next_serial += 1;
+                        unexpected.push(m.clone());
+                        reference.unexpected.push(m);
+                    }
+                }
+                Op::Recv { src, tag, ctx } => {
+                    let got = unexpected.take_match(src, tag, ctx);
+                    let want = reference.take_unexpected(src, tag, ctx);
+                    prop_assert_eq!(
+                        got.as_ref().map(|m| m.coll_seq),
+                        want.as_ref().map(|m| m.coll_seq),
+                        "unexpected match diverged for src={:?} tag={:?} ctx={}",
+                        src,
+                        tag,
+                        ctx
+                    );
+                }
+                Op::Cancel { nth } => {
+                    if next_id > 0 {
+                        let id = ReqId::from_raw(nth % next_id);
+                        prop_assert_eq!(posted.cancel(id), reference.cancel(id));
+                    }
+                }
+            }
+            prop_assert_eq!(posted.len(), reference.posted.len());
+            prop_assert_eq!(unexpected.len(), reference.unexpected.len());
+        }
+
+        // Drain both unexpected queues with a full wildcard: remaining parked
+        // messages must come out in identical (arrival) order.
+        for ctx in 0..2 {
+            loop {
+                let got = unexpected.take_match(None, TagSel::Any, ctx);
+                let want = reference.take_unexpected(None, TagSel::Any, ctx);
+                prop_assert_eq!(
+                    got.as_ref().map(|m| m.coll_seq),
+                    want.as_ref().map(|m| m.coll_seq)
+                );
+                if got.is_none() {
+                    break;
+                }
+            }
+        }
+    }
+}

@@ -21,7 +21,10 @@ fn run_allreduce(lb: &mut Loopback<Engine>, elems: usize, op: ReduceOp) -> Vec<V
     let reqs: Vec<_> = (0..n)
         .map(|r| {
             let data: Vec<f64> = (0..elems).map(|j| (r * 7 + j) as f64 * 0.5).collect();
-            (r, lb.engines[r].iallreduce(&comm, op, Datatype::F64, &f64s_to_bytes(&data)))
+            (
+                r,
+                lb.engines[r].iallreduce(&comm, op, Datatype::F64, &f64s_to_bytes(&data)),
+            )
         })
         .collect();
     lb.run_until_complete(&reqs, 20_000);
@@ -141,7 +144,10 @@ fn small_messages_stay_on_the_binomial_path() {
     // Leaf rank 3 under reduce+bcast: 1 reduce send + 1 bcast recv; under
     // RS it would send 2 exchanges in each of 2 phases.
     let sent = lb.engines[3].stats().eager_sent;
-    assert!(sent <= 2, "rank 3 sent {sent} messages; RS path used for a small message?");
+    assert!(
+        sent <= 2,
+        "rank 3 sent {sent} messages; RS path used for a small message?"
+    );
 }
 
 #[test]
@@ -152,10 +158,16 @@ fn rs_interleaves_with_other_collectives() {
     let mut all = Vec::new();
     for r in 0..n as usize {
         let big: Vec<f64> = (0..32).map(|j| (r + j) as f64).collect();
-        all.push((r, lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(&big))));
+        all.push((
+            r,
+            lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(&big)),
+        ));
         all.push((r, lb.engines[r].ibarrier(&comm)));
         let small = f64s_to_bytes(&[r as f64]);
-        all.push((r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &small)));
+        all.push((
+            r,
+            lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &small),
+        ));
     }
     lb.run_until_complete(&all, 30_000);
     // Spot-check the plain reduce landed correctly despite RS traffic.

@@ -98,7 +98,11 @@ fn long_mixed_collective_sequences_stay_correct() {
                     assert_ne!(r as u32, root);
                 }
                 (Op::Bcast { elems, .. }, Some(Outcome::Data(d))) => {
-                    assert_eq!(bytes_to_f64s(&d), vec![k as f64; elems], "seed={seed} op {k}");
+                    assert_eq!(
+                        bytes_to_f64s(&d),
+                        vec![k as f64; elems],
+                        "seed={seed} op {k}"
+                    );
                 }
                 (Op::Allreduce { elems }, Some(Outcome::Data(d))) => {
                     let expect: f64 = (0..n as usize).map(|q| (q * 2 + k) as f64).sum();
@@ -116,7 +120,12 @@ fn long_mixed_collective_sequences_stay_correct() {
             }
         }
         for e in &lb.engines {
-            assert_eq!(e.live_requests(), 0, "seed={seed}: rank {} leaked", e.rank());
+            assert_eq!(
+                e.live_requests(),
+                0,
+                "seed={seed}: rank {} leaked",
+                e.rank()
+            );
             assert!(e.memory().is_balanced());
         }
     }
@@ -138,10 +147,16 @@ fn stress_with_large_messages_exercises_rendezvous_and_rs() {
         for r in 0..n as usize {
             // 512 doubles = 4 KiB > eager limit -> rendezvous reduce path.
             let big = f64s_to_bytes(&vec![(r + round) as f64; 512]);
-            all.push((r, lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &big)));
+            all.push((
+                r,
+                lb.engines[r].ireduce(&comm, 0, ReduceOp::Sum, Datatype::F64, &big),
+            ));
             // 64 doubles = 512 B >= threshold, power-of-two n -> RS path.
             let med = f64s_to_bytes(&vec![1.0; 64]);
-            all.push((r, lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &med)));
+            all.push((
+                r,
+                lb.engines[r].iallreduce(&comm, ReduceOp::Sum, Datatype::F64, &med),
+            ));
         }
     }
     lb.run_until_complete(&all, 60_000);
@@ -152,7 +167,10 @@ fn stress_with_large_messages_exercises_rendezvous_and_rs() {
         match lb.engines[0].take_outcome(red) {
             Some(Outcome::Data(d)) => {
                 let expect: f64 = (0..n as usize).map(|q| (q + round) as f64).sum();
-                assert!(bytes_to_f64s(&d).iter().all(|&x| x == expect), "round {round}");
+                assert!(
+                    bytes_to_f64s(&d).iter().all(|&x| x == expect),
+                    "round {round}"
+                );
             }
             other => panic!("round {round}: {other:?}"),
         }
@@ -163,6 +181,10 @@ fn stress_with_large_messages_exercises_rendezvous_and_rs() {
     // Every non-root rank sent its 4KB contributions via rendezvous (the
     // root only receives in a reduce).
     for e in &lb.engines[1..] {
-        assert!(e.stats().rndv_sent > 0, "rank {}: rendezvous path must be exercised", e.rank());
+        assert!(
+            e.stats().rndv_sent > 0,
+            "rank {}: rendezvous path must be exercised",
+            e.rank()
+        );
     }
 }

@@ -64,7 +64,11 @@ fn run(ab: bool) -> (Vec<TimelineEvent>, u64) {
     let programs: Vec<Box<dyn Program>> = (0..4)
         .map(|rank| Box::new(Fig2Program { rank, phase: 0 }) as Box<dyn Program>)
         .collect();
-    let cfg = if ab { AbConfig::default() } else { AbConfig::disabled() };
+    let cfg = if ab {
+        AbConfig::default()
+    } else {
+        AbConfig::disabled()
+    };
     let mut d = DesDriver::new(
         &spec,
         |r, ec: EngineConfig| AbEngine::new(r, 4, ec, cfg.clone()),
@@ -112,9 +116,17 @@ fn main() {
          #=app busy  P=polling in MPI_Reduce  p=protocol  S=signal handler  .=CPU free\n"
     );
     let (nab, end_a) = run(false);
-    render(&nab, end_a, "(a) non-application-bypass: node 2 polls (P) until node 3 shows up");
+    render(
+        &nab,
+        end_a,
+        "(a) non-application-bypass: node 2 polls (P) until node 3 shows up",
+    );
     let (ab, end_b) = run(true);
-    render(&ab, end_b, "(b) application-bypass: node 2's call returns; a signal (S) finishes the job");
+    render(
+        &ab,
+        end_b,
+        "(b) application-bypass: node 2's call returns; a signal (S) finishes the job",
+    );
     let nab_poll: f64 = nab
         .iter()
         .filter(|e| e.node == 2 && e.kind == CpuCategory::Polling)
@@ -125,6 +137,9 @@ fn main() {
         .filter(|e| e.node == 2 && e.kind == CpuCategory::Polling)
         .map(|e| e.dur.as_us_f64())
         .sum();
-    println!("node 2 polling time: {nab_poll:.1}us (nab)  vs  {:.1}us (ab)", ab_poll.max(0.0));
+    println!(
+        "node 2 polling time: {nab_poll:.1}us (nab)  vs  {:.1}us (ab)",
+        ab_poll.max(0.0)
+    );
     assert!(ab_poll < nab_poll / 4.0, "bypass must free node 2's CPU");
 }

@@ -47,9 +47,9 @@ fn main() {
         // collective order, so every rank must post rounds in order.
         let mut in_flight = None;
         for round in 0..=ROUNDS {
-            let finished = in_flight.take().map(|h: abr_cluster::live::SplitReduce| {
-                h.wait().expect("reduce failed")
-            });
+            let finished = in_flight
+                .take()
+                .map(|h: abr_cluster::live::SplitReduce| h.wait().expect("reduce failed"));
             if round < ROUNDS {
                 let hits = sample_round(ctx.rank(), round);
                 in_flight = Some(ctx.reduce_split(
@@ -73,7 +73,10 @@ fn main() {
     let (pis, root_stats) = &estimates[0];
     println!("per-round π estimates at the root (sampling overlapped the reductions):");
     for (k, pi) in pis.iter().enumerate() {
-        println!("  round {k}: π ≈ {pi:.5}  (error {:+.5})", pi - std::f64::consts::PI);
+        println!(
+            "  round {k}: π ≈ {pi:.5}  (error {:+.5})",
+            pi - std::f64::consts::PI
+        );
     }
     assert_eq!(pis.len(), ROUNDS);
     let worst = pis

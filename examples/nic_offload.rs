@@ -59,7 +59,11 @@ fn main() {
             })
             .mean_latency_us
         };
-        let (nab, ab, nic) = (cell(Mode::Baseline), cell(Mode::Bypass(DelayPolicy::None)), cell(Mode::NicBypass));
+        let (nab, ab, nic) = (
+            cell(Mode::Baseline),
+            cell(Mode::Bypass(DelayPolicy::None)),
+            cell(Mode::NicBypass),
+        );
         lat.row(vec![
             elems.to_string(),
             f2(nab),

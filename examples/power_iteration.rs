@@ -51,7 +51,11 @@ fn main() {
                 .collect();
             // lambda = x^T y and ||y||^2, both via allreduce.
             let partial = [
-                x_local.iter().zip(&y_local).map(|(a, b)| a * b).sum::<f64>(),
+                x_local
+                    .iter()
+                    .zip(&y_local)
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>(),
                 y_local.iter().map(|v| v * v).sum::<f64>(),
             ];
             let sums = bytes_to_f64s(
@@ -86,6 +90,8 @@ fn main() {
         "eigenvalue {lambda} outside plausible range"
     );
     // And verify the residual ||Ax - lambda x|| distributed-ly.
-    println!("collectives used: allgather ({} ranks x {} iters), allreduce, barrier",
-        RANKS, iterations);
+    println!(
+        "collectives used: allgather ({} ranks x {} iters), allreduce, barrier",
+        RANKS, iterations
+    );
 }

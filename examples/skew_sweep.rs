@@ -20,7 +20,16 @@ fn main() {
     println!("skew sweep: {nodes} heterogeneous nodes, {elems}-element doubles, {iters} iterations/cell\n");
     let mut table = Table::new(
         format!("CPU utilization vs skew ({nodes} nodes, {elems} elems)"),
-        &["skew_us", "nab_us", "ab_us", "ab+delay_us", "foi", "ab_p95", "nab_p95", "signals_ab"],
+        &[
+            "skew_us",
+            "nab_us",
+            "ab_us",
+            "ab+delay_us",
+            "foi",
+            "ab_p95",
+            "nab_p95",
+            "signals_ab",
+        ],
     );
     for skew in [0u64, 100, 250, 500, 750, 1000, 1500, 2000] {
         let base = CpuUtilConfig {
@@ -35,7 +44,9 @@ fn main() {
             ..base.clone()
         });
         let ab_delay = run_cpu_util(&CpuUtilConfig {
-            mode: Mode::Bypass(DelayPolicy::PerProcess { us_per_process: 2.0 }),
+            mode: Mode::Bypass(DelayPolicy::PerProcess {
+                us_per_process: 2.0,
+            }),
             ..base.clone()
         });
         table.row(vec![

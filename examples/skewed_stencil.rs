@@ -36,16 +36,24 @@ fn main() {
     println!(
         "running {} sweeps of an imbalanced stencil over {RANKS} ranks ({})",
         SWEEPS,
-        if baseline { "baseline reduce" } else { "application-bypass reduce" },
+        if baseline {
+            "baseline reduce"
+        } else {
+            "application-bypass reduce"
+        },
     );
 
     let spec = ClusterSpec::homogeneous_1000(RANKS);
     let results = run_live(&spec, ab, |ctx| {
         let rank = ctx.rank();
         // Odd ranks own twice the cells: structural imbalance.
-        let cells = if rank % 2 == 1 { 2 * BASE_CELLS } else { BASE_CELLS };
+        let cells = if rank % 2 == 1 {
+            2 * BASE_CELLS
+        } else {
+            BASE_CELLS
+        };
         let mut u = vec![0.0f64; cells + 2]; // plus halo cells
-        // Dirichlet boundary: hot left end of the rod.
+                                             // Dirichlet boundary: hot left end of the rod.
         if rank == 0 {
             u[0] = 100.0;
         }
@@ -58,8 +66,12 @@ fn main() {
                     .unwrap();
             }
             if rank < RANKS - 1 {
-                ctx.send(rank + 1, HALO_TAG, Bytes::from(u[cells].to_le_bytes().to_vec()))
-                    .unwrap();
+                ctx.send(
+                    rank + 1,
+                    HALO_TAG,
+                    Bytes::from(u[cells].to_le_bytes().to_vec()),
+                )
+                .unwrap();
             }
             if rank > 0 {
                 let d = ctx.recv(Some(rank - 1), TagSel::Is(HALO_TAG), 8).unwrap();
@@ -83,7 +95,12 @@ fn main() {
             // Global residual to rank 0 — the skew-sensitive collective.
             let t0 = Instant::now();
             let global = ctx
-                .reduce(0, ReduceOp::Sum, Datatype::F64, &f64s_to_bytes(&[local_residual]))
+                .reduce(
+                    0,
+                    ReduceOp::Sum,
+                    Datatype::F64,
+                    &f64s_to_bytes(&[local_residual]),
+                )
                 .unwrap();
             reduce_time += t0.elapsed();
             sweeps_done += 1;
@@ -105,7 +122,11 @@ fn main() {
 
     println!("\nrank  cells  sweeps  time-in-reduce  ab_reductions  async_children");
     for (rank, sweeps, reduce_time, stats, _) in &results {
-        let cells = if rank % 2 == 1 { 2 * BASE_CELLS } else { BASE_CELLS };
+        let cells = if rank % 2 == 1 {
+            2 * BASE_CELLS
+        } else {
+            BASE_CELLS
+        };
         println!(
             "{rank:>4}  {cells:>5}  {sweeps:>6}  {:>12.2?}  {:>13}  {:>14}",
             reduce_time, stats.ab.ab_reductions, stats.ab.async_children,

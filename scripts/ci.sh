@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Tier-1 CI gate: format, lint, build, test.
+#
+# Mirrors .github/workflows/ci.yml so the same gate runs locally:
+#   ./scripts/ci.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo fmt --check"
+cargo fmt --all -- --check
+
+echo "==> cargo clippy -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test -q --workspace
+
+echo "CI gate passed."

@@ -509,8 +509,8 @@ macro_rules! __proptest_impl {
 pub mod prelude {
     pub use crate::prop;
     pub use crate::{
-        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, Just, ProptestConfig,
-        Strategy, TestCaseError, TestCaseResult,
+        any, prop_assert, prop_assert_eq, prop_assume, prop_oneof, proptest, BoxedStrategy, Just,
+        ProptestConfig, Strategy, TestCaseError, TestCaseResult,
     };
 }
 

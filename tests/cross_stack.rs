@@ -85,7 +85,10 @@ fn des_reduce_results(
             Box::new(SkewedReduceProgram {
                 rank,
                 root,
-                inputs: inputs_per_iter.iter().map(|it| it[rank as usize].clone()).collect(),
+                inputs: inputs_per_iter
+                    .iter()
+                    .map(|it| it[rank as usize].clone())
+                    .collect(),
                 skews_us: skews.iter().map(|it| it[rank as usize]).collect(),
                 op,
                 iter: 0,
@@ -93,7 +96,11 @@ fn des_reduce_results(
             }) as Box<dyn Program>
         })
         .collect();
-    let cfg = if ab { AbConfig::default() } else { AbConfig::disabled() };
+    let cfg = if ab {
+        AbConfig::default()
+    } else {
+        AbConfig::disabled()
+    };
     let mut d = DesDriver::new(
         &spec,
         |r, ec: EngineConfig| AbEngine::new(r, n, ec, cfg.clone()),
@@ -214,6 +221,10 @@ fn all_roots_work_under_both_drivers() {
             &[vec![0; n as usize]],
             true,
         );
-        assert_eq!(res, vec![(1..=n).map(f64::from).sum::<f64>()], "root {root}");
+        assert_eq!(
+            res,
+            vec![(1..=n).map(f64::from).sum::<f64>()],
+            "root {root}"
+        );
     }
 }

@@ -202,9 +202,17 @@ fn extension_nic_offload_eliminates_host_signals_and_cuts_host_cpu() {
     let abr = cpu(16, 4, 500, ab());
     let nic = cpu(16, 4, 500, Mode::NicBypass);
     assert_eq!(nic.signals, 0, "NIC offload must never signal the host");
-    assert!(nic.mean_cpu_us < abr.mean_cpu_us, "nic {:.1} vs ab {:.1}", nic.mean_cpu_us, abr.mean_cpu_us);
+    assert!(
+        nic.mean_cpu_us < abr.mean_cpu_us,
+        "nic {:.1} vs ab {:.1}",
+        nic.mean_cpu_us,
+        abr.mean_cpu_us
+    );
     assert!(nic.mean_cpu_us < nab.mean_cpu_us / 2.0);
-    assert!(nic.nic_us_total > 0.0, "the NIC must have done the work instead");
+    assert!(
+        nic.nic_us_total > 0.0,
+        "the NIC must have done the work instead"
+    );
     assert_eq!(nab.nic_us_total, 0.0);
     assert_eq!(abr.nic_us_total, 0.0);
 }
