@@ -11,6 +11,7 @@ use abr_cluster::microbench::{AppBenchConfig, CpuUtilConfig, LatencyConfig, Mode
 use abr_cluster::node::ClusterSpec;
 use abr_cluster::report::{f2, ratio, Table};
 use abr_cluster::sweep::{RunOut, RunSpec, Sweep};
+use abr_cluster::{FaultPlan, RelStats};
 use abr_core::DelayPolicy;
 use abr_gm::cost::CostModel;
 
@@ -554,6 +555,121 @@ pub fn ablation_app(iters: u64) -> Vec<Table> {
         ]);
     }
     vec![t]
+}
+
+/// Beyond the paper: CPU utilization and latency as the injected
+/// drop+duplicate rate rises (32 nodes, reliable delivery on). The bypass
+/// advantage should survive loss — retransmissions are absorbed by the
+/// reliability layer below both modes — and the rel counters confirm the
+/// injected schedule was actually exercised.
+pub fn fig_loss(iters: u64) -> Vec<Table> {
+    const LOSS: [f64; 5] = [0.0, 0.001, 0.005, 0.01, 0.02];
+    let mut specs = Vec::new();
+    for (i, &p) in LOSS.iter().enumerate() {
+        let plan = if p == 0.0 {
+            FaultPlan::none()
+        } else {
+            FaultPlan::uniform_loss(0xAB5EED ^ i as u64, p)
+        };
+        for mode in [Mode::Baseline, ab_mode()] {
+            specs.push(RunSpec::Cpu(CpuUtilConfig {
+                elems: 4,
+                max_skew_us: 200,
+                iters,
+                mode,
+                faults: plan.clone(),
+                ..CpuUtilConfig::new(ClusterSpec::heterogeneous_32(), mode)
+            }));
+            specs.push(RunSpec::Latency(LatencyConfig {
+                elems: 4,
+                iters,
+                mode,
+                faults: plan.clone(),
+                ..LatencyConfig::new(ClusterSpec::heterogeneous_32(), mode)
+            }));
+        }
+    }
+    let out = sweep().run_points(&specs);
+    let mut t = Table::new(
+        "Loss sweep: CPU utilization and latency vs drop+dup rate (32 nodes, 200us skew, 4 elems)",
+        &[
+            "loss_pct", "nab_cpu", "ab_cpu", "foi", "nab_lat", "ab_lat", "nab_retx", "ab_retx",
+            "dups",
+        ],
+    );
+    for (row, &p) in LOSS.iter().enumerate() {
+        let cells = &out[row * 4..row * 4 + 4];
+        let nab_cpu = cells[0].cpu();
+        let ab_cpu = cells[2].cpu();
+        let nab_rel = rel_of(&cells[0]);
+        let ab_rel = rel_of(&cells[2]);
+        t.row(vec![
+            format!("{:.1}", p * 100.0),
+            f2(nab_cpu.mean_cpu_us),
+            f2(ab_cpu.mean_cpu_us),
+            ratio(nab_cpu.mean_cpu_us, ab_cpu.mean_cpu_us),
+            f2(mean_latency(&cells[1])),
+            f2(mean_latency(&cells[3])),
+            nab_rel.retransmissions.to_string(),
+            ab_rel.retransmissions.to_string(),
+            (nab_rel.duplicates_suppressed + ab_rel.duplicates_suppressed).to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+/// One sweep point per mode under an explicit [`FaultPlan`] (the
+/// `ABR_FAULTS` path of the `loss_figure` binary), with the full
+/// reliability-counter breakdown.
+pub fn custom_fault_tables(iters: u64, plan: &FaultPlan) -> Vec<Table> {
+    let mut specs = Vec::new();
+    for mode in [Mode::Baseline, ab_mode()] {
+        specs.push(RunSpec::Cpu(CpuUtilConfig {
+            elems: 4,
+            max_skew_us: 200,
+            iters,
+            mode,
+            faults: plan.clone(),
+            ..CpuUtilConfig::new(ClusterSpec::heterogeneous_32(), mode)
+        }));
+        specs.push(RunSpec::Latency(LatencyConfig {
+            elems: 4,
+            iters,
+            mode,
+            faults: plan.clone(),
+            ..LatencyConfig::new(ClusterSpec::heterogeneous_32(), mode)
+        }));
+    }
+    let out = sweep().run_points(&specs);
+    let mut t = Table::new(
+        format!(
+            "Custom fault plan (seed {}, {} rule(s)) on 32 nodes, 200us skew, 4 elems",
+            plan.seed,
+            plan.rules.len()
+        ),
+        &[
+            "mode", "cpu_us", "lat_us", "sent", "retx", "dups", "buffered", "dead",
+        ],
+    );
+    for (i, mode) in [Mode::Baseline, ab_mode()].iter().enumerate() {
+        let cpu = out[i * 2].cpu();
+        let rel = rel_of(&out[i * 2]);
+        t.row(vec![
+            mode.label().to_string(),
+            f2(cpu.mean_cpu_us),
+            f2(mean_latency(&out[i * 2 + 1])),
+            rel.data_sent.to_string(),
+            rel.retransmissions.to_string(),
+            rel.duplicates_suppressed.to_string(),
+            rel.out_of_order_buffered.to_string(),
+            rel.links_dead.to_string(),
+        ]);
+    }
+    vec![t]
+}
+
+fn rel_of(out: &RunOut) -> RelStats {
+    out.cpu().rel.unwrap_or_default()
 }
 
 /// Print a set of tables.

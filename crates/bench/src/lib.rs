@@ -15,9 +15,43 @@ pub mod figures;
 pub mod sweep_json;
 
 /// Iterations per configuration, from `ABR_ITERS` (default 300).
+///
+/// # Panics
+/// Panics on a set-but-invalid `ABR_ITERS` (non-numeric or zero) — a typo'd
+/// iteration count must not silently run the default.
 pub fn iters() -> u64 {
-    std::env::var("ABR_ITERS")
-        .ok()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(300)
+    match std::env::var("ABR_ITERS") {
+        Err(std::env::VarError::NotPresent) => 300,
+        Err(e) => panic!("ABR_ITERS is not valid unicode: {e}"),
+        Ok(raw) => match parse_iters(&raw) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        },
+    }
+}
+
+/// Parse an explicit `ABR_ITERS` value: a positive iteration count.
+pub fn parse_iters(raw: &str) -> Result<u64, String> {
+    match raw.trim().parse::<u64>() {
+        Ok(0) => Err("ABR_ITERS must be a positive iteration count, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "ABR_ITERS must be a positive iteration count, got {raw:?}"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_iters_accepts_positive_and_rejects_junk() {
+        assert_eq!(parse_iters("300"), Ok(300));
+        assert_eq!(parse_iters(" 40 "), Ok(40));
+        for bad in ["0", "", "many", "-3", "1e3"] {
+            let err = parse_iters(bad).unwrap_err();
+            assert!(err.contains("ABR_ITERS"), "{bad}: {err}");
+        }
+    }
 }

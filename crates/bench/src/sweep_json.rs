@@ -44,8 +44,28 @@ pub fn timed_figure(
 }
 
 /// The output path: `ABR_SWEEP_JSON` or `BENCH_sweep.json`.
+///
+/// # Panics
+/// Panics on a set-but-empty `ABR_SWEEP_JSON` — an empty path would make the
+/// write fail after the whole sweep has already run.
 pub fn out_path() -> String {
-    std::env::var("ABR_SWEEP_JSON").unwrap_or_else(|_| "BENCH_sweep.json".to_string())
+    match std::env::var("ABR_SWEEP_JSON") {
+        Err(std::env::VarError::NotPresent) => "BENCH_sweep.json".to_string(),
+        Err(e) => panic!("ABR_SWEEP_JSON is not valid unicode: {e}"),
+        Ok(raw) => match parse_out_path(&raw) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        },
+    }
+}
+
+/// Validate an explicit `ABR_SWEEP_JSON` value: any non-empty path.
+pub fn parse_out_path(raw: &str) -> Result<String, String> {
+    if raw.trim().is_empty() {
+        Err("ABR_SWEEP_JSON must be a non-empty output path".to_string())
+    } else {
+        Ok(raw.to_string())
+    }
 }
 
 /// Render the summary JSON document.
@@ -107,6 +127,15 @@ mod tests {
         assert_eq!(s.matches('{').count(), s.matches('}').count());
         // Exactly one trailing-comma-free list.
         assert!(!s.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn parse_out_path_rejects_empty() {
+        assert_eq!(parse_out_path("out.json"), Ok("out.json".to_string()));
+        for bad in ["", "   "] {
+            let err = parse_out_path(bad).unwrap_err();
+            assert!(err.contains("ABR_SWEEP_JSON"), "{bad:?}: {err}");
+        }
     }
 
     #[test]

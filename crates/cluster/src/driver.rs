@@ -27,6 +27,7 @@ use crate::node::ClusterSpec;
 use crate::program::{Obs, Program, Step, StepCtx};
 use abr_des::meter::CpuCategory;
 use abr_des::{CpuMeter, EventId, EventQueue, SimDuration, SimTime};
+use abr_faults::{FaultInjector, FaultPlan, NodeReliability, RelConfig, RelEvent, RelStats};
 use abr_gm::nic::{Network, NodeHw};
 use abr_gm::packet::Packet;
 use abr_gm::signal::SignalControl;
@@ -37,10 +38,36 @@ use abr_mpr::ReqId;
 use std::collections::HashMap;
 
 enum Ev {
-    Deliver { node: usize, pkt: Packet },
-    StepDone { node: usize, gen: u64 },
-    Deadline { node: usize, req: u64, gen: u64 },
-    Kick { node: usize },
+    Deliver {
+        node: usize,
+        pkt: Packet,
+    },
+    StepDone {
+        node: usize,
+        gen: u64,
+    },
+    Deadline {
+        node: usize,
+        req: u64,
+        gen: u64,
+    },
+    Kick {
+        node: usize,
+    },
+    /// Retransmission-timer check for one node's reliability layer.
+    RelTick {
+        node: usize,
+    },
+}
+
+/// Fault-injection + reliability state, present only when a non-empty
+/// [`FaultPlan`] was installed. With no plan the driver's hot paths are
+/// byte-for-byte the fault-free ones (cost neutrality).
+struct FaultState {
+    injector: FaultInjector,
+    rel: Vec<NodeReliability>,
+    /// Per-node pending [`Ev::RelTick`]: `(scheduled_at, event)`.
+    tick: Vec<Option<(SimTime, EventId)>>,
 }
 
 enum NodeState {
@@ -132,6 +159,7 @@ pub struct DesDriver<E: MessageEngine> {
     timeline: Option<Vec<TimelineEvent>>,
     /// Reused buffer for draining engine actions (see `route_actions`).
     action_scratch: Vec<Action>,
+    faults: Option<FaultState>,
 }
 
 impl<E: MessageEngine> DesDriver<E> {
@@ -182,7 +210,37 @@ impl<E: MessageEngine> DesDriver<E> {
             packets_delivered: 0,
             timeline: None,
             action_scratch: Vec::new(),
+            faults: None,
         }
+    }
+
+    /// Install a fault plan and the reliability layer that tolerates it.
+    /// A [`FaultPlan::none`] plan is a no-op: the driver keeps its
+    /// fault-free hot paths and pays nothing.
+    pub fn set_faults(&mut self, plan: &FaultPlan, rel_cfg: RelConfig) {
+        if plan.is_none() {
+            return;
+        }
+        let n = self.nodes.len();
+        self.faults = Some(FaultState {
+            injector: FaultInjector::new(plan.clone()),
+            rel: (0..n)
+                .map(|i| NodeReliability::new(i as u32, rel_cfg))
+                .collect(),
+            tick: vec![None; n],
+        });
+    }
+
+    /// Aggregate reliability-layer counters across all nodes, if the fault
+    /// layer is active.
+    pub fn rel_stats(&self) -> Option<RelStats> {
+        self.faults.as_ref().map(|f| {
+            let mut total = RelStats::default();
+            for r in &f.rel {
+                total.merge(&r.stats());
+            }
+            total
+        })
     }
 
     /// Record a timeline of per-node activity spans (off by default; it
@@ -247,6 +305,7 @@ impl<E: MessageEngine> DesDriver<E> {
                 Ev::StepDone { node, gen } => self.on_step_done(node, gen, at),
                 Ev::Deadline { node, req, gen } => self.on_deadline(node, req, gen, at),
                 Ev::Kick { node } => self.on_kick(node, at),
+                Ev::RelTick { node } => self.on_rel_tick(node, at),
             }
         }
     }
@@ -310,17 +369,7 @@ impl<E: MessageEngine> DesDriver<E> {
         self.nodes[i].engine.drain_actions_into(&mut actions);
         for a in actions.drain(..) {
             match a {
-                Action::Send(mut pkt) => {
-                    let key = (pkt.header.src.0, pkt.header.dst.0);
-                    let seq = self.wire_seq.entry(key).or_insert(0);
-                    pkt.header.wire_seq = *seq;
-                    *seq += 1;
-                    let dst = pkt.header.dst.index();
-                    let src_hw = self.nodes[i].hw;
-                    let dst_hw = self.nodes[dst].hw;
-                    let arrive = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt);
-                    self.queue.schedule(arrive, Ev::Deliver { node: dst, pkt });
-                }
+                Action::Send(pkt) => self.transmit(i, pkt, stamp),
                 Action::EnableSignals => {
                     self.nodes[i].signal.enable();
                 }
@@ -330,6 +379,104 @@ impl<E: MessageEngine> DesDriver<E> {
             }
         }
         self.action_scratch = actions;
+    }
+
+    /// Send one engine-originated packet at `stamp`. With faults installed
+    /// the packet first passes through the sender's reliability layer
+    /// (stamping `rel_seq`, buffering for retransmission); without, this is
+    /// exactly the fault-free send.
+    fn transmit(&mut self, i: usize, mut pkt: Packet, stamp: SimTime) {
+        if let Some(f) = &mut self.faults {
+            pkt = f.rel[i].on_send(pkt, stamp.as_nanos());
+        }
+        self.transmit_raw(i, pkt, stamp);
+        if self.faults.is_some() {
+            self.schedule_rel_tick(i, stamp);
+        }
+    }
+
+    /// Put a packet on the wire: stamp `wire_seq`, run the fault injector,
+    /// and schedule delivery for every surviving copy. Retransmissions and
+    /// acks enter here directly (they bypass `on_send`).
+    fn transmit_raw(&mut self, i: usize, mut pkt: Packet, stamp: SimTime) {
+        let key = (pkt.header.src.0, pkt.header.dst.0);
+        let seq = self.wire_seq.entry(key).or_insert(0);
+        pkt.header.wire_seq = *seq;
+        *seq += 1;
+        let dst = pkt.header.dst.index();
+        let src_hw = self.nodes[i].hw;
+        let dst_hw = self.nodes[dst].hw;
+        let Some(f) = &mut self.faults else {
+            let arrive = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt);
+            self.queue.schedule(arrive, Ev::Deliver { node: dst, pkt });
+            return;
+        };
+        let verdict = f.injector.decide(&pkt, Some(stamp.as_nanos()));
+        if verdict.copies == 0 {
+            // Dropped: the NIC and wire still did the work of sending it,
+            // so charge network occupancy exactly as for a delivered packet.
+            let _ = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt);
+            return;
+        }
+        for _ in 0..verdict.copies {
+            let arrive = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt)
+                + SimDuration::from_nanos(verdict.extra_delay_ns);
+            self.queue.schedule(
+                arrive,
+                Ev::Deliver {
+                    node: dst,
+                    pkt: pkt.clone(),
+                },
+            );
+        }
+    }
+
+    /// (Re-)schedule node `i`'s retransmission-timer event to match its
+    /// reliability layer's earliest deadline.
+    fn schedule_rel_tick(&mut self, i: usize, now: SimTime) {
+        let Some(f) = &mut self.faults else {
+            return;
+        };
+        let want = f.rel[i]
+            .next_deadline()
+            .map(|ns| SimTime::from_nanos(ns).max(now));
+        match (want, f.tick[i]) {
+            (None, None) => {}
+            (None, Some((_, ev))) => {
+                self.queue.cancel(ev);
+                f.tick[i] = None;
+            }
+            (Some(at), Some((cur, _))) if cur == at => {}
+            (Some(at), prev) => {
+                if let Some((_, ev)) = prev {
+                    self.queue.cancel(ev);
+                }
+                let ev = self.queue.schedule(at, Ev::RelTick { node: i });
+                f.tick[i] = Some((at, ev));
+            }
+        }
+    }
+
+    /// A reliability timer fired: let node `i` retransmit what's overdue.
+    fn on_rel_tick(&mut self, i: usize, t: SimTime) {
+        let mut out = Vec::new();
+        {
+            let Some(f) = &mut self.faults else {
+                return;
+            };
+            f.tick[i] = None;
+            f.rel[i].on_tick(t.as_nanos(), &mut out);
+        }
+        for e in out {
+            match e {
+                RelEvent::Transmit(p) => self.transmit_raw(i, p, t),
+                RelEvent::LinkDead { peer } => {
+                    panic!("rank {i}: link to rank {peer} declared dead (retry budget exhausted)")
+                }
+                RelEvent::Deliver(_) => unreachable!("ticks never deliver"),
+            }
+        }
+        self.schedule_rel_tick(i, t);
     }
 
     /// The node just ran engine work inline at `t`: charge it, advance the
@@ -391,6 +538,33 @@ impl<E: MessageEngine> DesDriver<E> {
     // ------------------------------------------------------------------
 
     fn on_deliver(&mut self, i: usize, pkt: Packet, t: SimTime) {
+        if self.faults.is_some() {
+            // Reliability pre-stage: acks are consumed here, duplicates are
+            // suppressed, out-of-order data is resequenced; whatever is
+            // ready flows on to the engine in `rel_seq` order.
+            let mut out = Vec::new();
+            {
+                let f = self.faults.as_mut().expect("checked above");
+                f.rel[i].on_receive(pkt, t.as_nanos(), &mut out);
+            }
+            for e in out {
+                match e {
+                    RelEvent::Deliver(p) => self.deliver_to_node(i, p, t),
+                    RelEvent::Transmit(p) => self.transmit_raw(i, p, t),
+                    RelEvent::LinkDead { peer } => {
+                        panic!("rank {i}: link to rank {peer} declared dead")
+                    }
+                }
+            }
+            self.schedule_rel_tick(i, t);
+            return;
+        }
+        self.deliver_to_node(i, pkt, t);
+    }
+
+    /// Hand one in-sequence packet to node `i`'s engine (the fault-free
+    /// delivery path; under faults the reliability layer feeds this).
+    fn deliver_to_node(&mut self, i: usize, pkt: Packet, t: SimTime) {
         self.packets_delivered += 1;
         // NIC-side pre-processing (the §VII extension) happens at arrival,
         // on the NIC processor, regardless of what the host is doing.

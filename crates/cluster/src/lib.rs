@@ -44,6 +44,7 @@ pub mod program;
 pub mod report;
 pub mod sweep;
 
+pub use abr_faults::{FaultPlan, RelConfig, RelStats};
 pub use driver::DesDriver;
 pub use microbench::{CpuUtilConfig, CpuUtilResult, LatencyConfig, LatencyResult};
 pub use node::ClusterSpec;

@@ -15,17 +15,19 @@
 
 use crate::node::ClusterSpec;
 use abr_core::{AbConfig, AbEngine};
+use abr_faults::{FaultInjector, FaultPlan, NodeReliability, RelConfig, RelEvent, RelStats};
 use abr_gm::live::{LiveFabric, Mailbox};
-use abr_gm::packet::{NodeId, PacketKind};
+use abr_gm::packet::{NodeId, Packet, PacketKind};
 use abr_mpr::engine::{Action, EngineConfig, MessageEngine};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::request::Outcome;
 use abr_mpr::types::{Datatype, MprError, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
 use bytes::Bytes;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
-use std::sync::Mutex;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 /// How long a dispatcher sleeps when it cannot act.
@@ -33,30 +35,229 @@ const DISPATCH_IDLE: Duration = Duration::from_micros(200);
 /// How long a blocked application thread waits for mail before re-polling.
 const BLOCK_POLL: Duration = Duration::from_micros(100);
 
+/// A packet held back by the fault injector's delay verdict.
+struct Delayed {
+    due: Instant,
+    /// Tie-breaker preserving injection order for equal deadlines.
+    seq: u64,
+    pkt: Packet,
+}
+
+impl PartialEq for Delayed {
+    fn eq(&self, other: &Self) -> bool {
+        self.due == other.due && self.seq == other.seq
+    }
+}
+impl Eq for Delayed {}
+impl PartialOrd for Delayed {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Delayed {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.due, self.seq).cmp(&(other.due, other.seq))
+    }
+}
+
+/// Shared fault-injection state for a live run: the (locked) injector, the
+/// delay queue its verdicts feed, and the wall-clock epoch that stands in
+/// for the DES's virtual clock.
+struct LiveFaults {
+    fabric: Arc<LiveFabric>,
+    injector: Mutex<FaultInjector>,
+    delays: Mutex<BinaryHeap<Reverse<Delayed>>>,
+    cv: Condvar,
+    epoch: Instant,
+    next_seq: AtomicU64,
+    shutdown: AtomicBool,
+}
+
+impl LiveFaults {
+    fn new(fabric: Arc<LiveFabric>, plan: &FaultPlan) -> Self {
+        LiveFaults {
+            fabric,
+            injector: Mutex::new(FaultInjector::new(plan.clone())),
+            delays: Mutex::new(BinaryHeap::new()),
+            cv: Condvar::new(),
+            epoch: Instant::now(),
+            next_seq: AtomicU64::new(0),
+            shutdown: AtomicBool::new(false),
+        }
+    }
+
+    /// Nanoseconds since the run started — the live analogue of virtual
+    /// time, fed to the reliability layer's timers.
+    fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// Put a packet on the wire through the injector: dropped copies vanish,
+    /// prompt copies go straight to the fabric, delayed copies park in the
+    /// delay queue for the worker thread.
+    fn send(&self, pkt: Packet) {
+        let v = self
+            .injector
+            .lock()
+            .expect("fault injector lock poisoned")
+            .decide(&pkt, None);
+        for _ in 0..v.copies {
+            if v.extra_delay_ns == 0 {
+                self.fabric.send(pkt.clone());
+            } else {
+                let entry = Delayed {
+                    due: Instant::now() + Duration::from_nanos(v.extra_delay_ns),
+                    seq: self.next_seq.fetch_add(1, Ordering::SeqCst),
+                    pkt: pkt.clone(),
+                };
+                self.delays
+                    .lock()
+                    .expect("delay queue lock poisoned")
+                    .push(Reverse(entry));
+                self.cv.notify_all();
+            }
+        }
+    }
+
+    /// Wake the delay worker for exit.
+    fn stop(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        self.cv.notify_all();
+    }
+
+    /// The delay-queue worker: releases parked packets when they come due.
+    fn delay_worker(&self) {
+        let mut q = self.delays.lock().expect("delay queue lock poisoned");
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            let mut due = Vec::new();
+            while q.peek().is_some_and(|Reverse(d)| d.due <= now) {
+                due.push(q.pop().expect("peeked non-empty").0.pkt);
+            }
+            if !due.is_empty() {
+                drop(q);
+                for p in due {
+                    self.fabric.send(p);
+                }
+                q = self.delays.lock().expect("delay queue lock poisoned");
+                continue;
+            }
+            let wait = match q.peek() {
+                Some(Reverse(d)) => d.due.saturating_duration_since(now),
+                None => Duration::from_millis(50),
+            };
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, wait.max(Duration::from_micros(1)))
+                .expect("delay queue lock poisoned");
+            q = guard;
+        }
+    }
+}
+
+/// What the engine mutex protects: the protocol engine plus (under faults)
+/// the rank's reliability state, so mail always flows mailbox → reliability
+/// → engine under one lock.
+struct RankState {
+    eng: AbEngine,
+    rel: Option<NodeReliability>,
+    /// A collective packet reached the engine but the NIC signal has not
+    /// fired yet. The flag survives across drains so a packet that lands
+    /// while signals are still disabled (its descriptor not yet posted)
+    /// triggers the handler as soon as signals come up, instead of parking
+    /// in the engine forever.
+    pending_collective: bool,
+}
+
 struct RankShared {
-    engine: Mutex<AbEngine>,
+    rank: u32,
+    engine: Mutex<RankState>,
     mailbox: Arc<Mailbox>,
     fabric: Arc<LiveFabric>,
     signals_enabled: AtomicBool,
+    faults: Option<Arc<LiveFaults>>,
 }
 
 impl RankShared {
+    /// Drain the mailbox into the engine (through the reliability layer
+    /// when faults are active, which also fires retransmission timers).
+    /// A collective packet reaching the engine raises
+    /// `st.pending_collective` — the caller is responsible for firing the
+    /// signal via [`Self::fire_signal_if_pending`].
+    fn drain_mail(&self, st: &mut RankState) {
+        let pkts = self.mailbox.drain();
+        match (&mut st.rel, &self.faults) {
+            (Some(rel), Some(fl)) => {
+                let mut out = Vec::new();
+                for pkt in pkts {
+                    rel.on_receive(pkt, fl.now_ns(), &mut out);
+                }
+                rel.on_tick(fl.now_ns(), &mut out);
+                for e in out {
+                    match e {
+                        RelEvent::Deliver(p) => {
+                            st.pending_collective |= p.header.kind == PacketKind::Collective;
+                            st.eng.deliver(p);
+                        }
+                        RelEvent::Transmit(p) => fl.send(p),
+                        RelEvent::LinkDead { peer } => panic!(
+                            "rank {}: link to rank {peer} declared dead (retry budget exhausted)",
+                            self.rank
+                        ),
+                    }
+                }
+            }
+            _ => {
+                for pkt in pkts {
+                    st.pending_collective |= pkt.header.kind == PacketKind::Collective;
+                    st.eng.deliver(pkt);
+                }
+            }
+        }
+    }
+
+    /// Run the NIC signal handler if a collective packet is waiting and
+    /// signals are enabled. The pending flag deliberately *persists* while
+    /// signals are disabled: a packet can land before its descriptor is
+    /// posted (a fast child racing its parent's `reduce()` call), and the
+    /// handler must then fire as soon as the descriptor enables signals —
+    /// nothing else will ever re-raise the flag for that packet.
+    fn fire_signal_if_pending(&self, st: &mut RankState) {
+        if st.pending_collective && self.signals_enabled.load(Ordering::SeqCst) {
+            st.pending_collective = false;
+            st.eng.handle_signal();
+        }
+    }
+
     /// Drain the mailbox into the engine and run `f`, then route actions.
     /// The caller must hold no engine lock.
     fn with_engine<T>(&self, f: impl FnOnce(&mut AbEngine) -> T) -> T {
-        let mut e = self.engine.lock().expect("engine lock poisoned");
-        for pkt in self.mailbox.drain() {
-            e.deliver(pkt);
-        }
-        let out = f(&mut e);
-        self.route_actions(&mut e);
+        let mut st = self.engine.lock().expect("engine lock poisoned");
+        self.drain_mail(&mut st);
+        self.fire_signal_if_pending(&mut st);
+        let out = f(&mut st.eng);
+        self.route_actions(&mut st);
+        // `f` may have just enabled signals (posting a descriptor for a
+        // collective whose packets already arrived): fire now, then route
+        // whatever the handler produced.
+        self.fire_signal_if_pending(&mut st);
+        self.route_actions(&mut st);
         out
     }
 
-    fn route_actions(&self, e: &mut AbEngine) {
-        for a in e.drain_actions() {
+    fn route_actions(&self, st: &mut RankState) {
+        for a in st.eng.drain_actions() {
             match a {
-                Action::Send(pkt) => self.fabric.send(pkt),
+                Action::Send(pkt) => match (&mut st.rel, &self.faults) {
+                    (Some(rel), Some(fl)) => {
+                        let p = rel.on_send(pkt, fl.now_ns());
+                        fl.send(p);
+                    }
+                    _ => self.fabric.send(pkt),
+                },
                 Action::EnableSignals => self.signals_enabled.store(true, Ordering::SeqCst),
                 Action::DisableSignals => self.signals_enabled.store(false, Ordering::SeqCst),
             }
@@ -121,6 +322,22 @@ impl RankCtx {
                 }
             }
             self.shared.mailbox.wait_nonempty(Some(BLOCK_POLL));
+            if self.shared.mailbox.is_closed() {
+                // A closed fabric under a still-blocked call can only mean
+                // abnormal shutdown (a peer rank panicked and its guard tore
+                // the fabric down): this request can never complete, so fail
+                // loudly instead of hanging the scope.
+                let done = self.shared.with_engine(|e| {
+                    e.progress();
+                    e.test(req)
+                });
+                if !done {
+                    panic!(
+                        "rank {}: fabric closed while blocked on a request — a peer rank failed",
+                        self.rank
+                    );
+                }
+            }
         }
     }
 
@@ -312,6 +529,7 @@ impl SplitReduce<'_> {
             .engine
             .lock()
             .expect("engine lock poisoned")
+            .eng
             .test(self.req)
     }
 
@@ -326,6 +544,7 @@ impl SplitReduce<'_> {
 }
 
 fn dispatcher_loop(shared: Arc<RankShared>) {
+    let faulty = shared.faults.is_some();
     loop {
         // The dispatcher serves until the whole run is over (fabric
         // closed): a rank's application thread may return while its own
@@ -333,17 +552,32 @@ fn dispatcher_loop(shared: Arc<RankShared>) {
         // application bypass — and only this thread can finish it then.
         if shared.mailbox.is_closed() {
             if shared.signals_enabled.load(Ordering::SeqCst) && !shared.mailbox.is_empty() {
-                if let Ok(mut e) = shared.engine.try_lock() {
-                    for pkt in shared.mailbox.drain() {
-                        e.deliver(pkt);
-                    }
-                    e.handle_signal();
-                    shared.route_actions(&mut e);
+                // try_lock treats a poisoned lock like a held one: the
+                // owning rank died mid-crank, there is nothing to save.
+                if let Ok(mut st) = shared.engine.try_lock() {
+                    shared.drain_mail(&mut st);
+                    st.eng.handle_signal();
+                    shared.route_actions(&mut st);
                 }
             }
             return;
         }
-        if !shared.mailbox.wait_nonempty(Some(DISPATCH_IDLE)) {
+        let got_mail = shared.mailbox.wait_nonempty(Some(DISPATCH_IDLE));
+        if faulty {
+            // Under faults the dispatcher doubles as the timer thread: on
+            // every wake (mail or timeout) it runs arriving packets through
+            // the reliability layer and fires due retransmissions, so a
+            // lost packet recovers even while every app thread is blocked.
+            if let Ok(mut st) = shared.engine.try_lock() {
+                shared.drain_mail(&mut st);
+                shared.fire_signal_if_pending(&mut st);
+                shared.route_actions(&mut st);
+            } else if got_mail {
+                std::thread::sleep(Duration::from_micros(20));
+            }
+            continue;
+        }
+        if !got_mail {
             continue;
         }
         if !shared.signals_enabled.load(Ordering::SeqCst) {
@@ -364,23 +598,53 @@ fn dispatcher_loop(shared: Arc<RankShared>) {
         }
         // Signal fires: try to enter the progress engine. A held lock means
         // progress is already underway — the signal is simply ignored.
-        if let Ok(mut e) = shared.engine.try_lock() {
-            let mut any_collective = false;
-            for pkt in shared.mailbox.drain() {
-                any_collective |= pkt.header.kind == PacketKind::Collective;
-                e.deliver(pkt);
-            }
-            if any_collective {
-                e.handle_signal();
-            } else {
-                // Nothing signal-worthy after all; leave the packets for
-                // the next progress pass without charging handler work.
-            }
-            shared.route_actions(&mut e);
+        if let Ok(mut st) = shared.engine.try_lock() {
+            shared.drain_mail(&mut st);
+            shared.fire_signal_if_pending(&mut st);
+            shared.route_actions(&mut st);
         } else {
             std::thread::sleep(Duration::from_micros(20));
         }
     }
+}
+
+/// Panic-safe teardown for one application thread. On normal return the
+/// *last* rank out closes the fabric; on panic the dying rank closes it
+/// immediately, so blocked peers and dispatcher threads wake and exit
+/// instead of hanging `thread::scope` forever.
+struct ShutdownGuard<'a> {
+    fabric: &'a LiveFabric,
+    faults: Option<&'a Arc<LiveFaults>>,
+    finished: &'a AtomicUsize,
+    n: usize,
+}
+
+impl ShutdownGuard<'_> {
+    fn close(&self) {
+        self.fabric.close_all();
+        if let Some(f) = self.faults {
+            f.stop();
+        }
+    }
+}
+
+impl Drop for ShutdownGuard<'_> {
+    fn drop(&mut self) {
+        // Short-circuit keeps a panicking rank from counting itself finished.
+        if std::thread::panicking() || self.finished.fetch_add(1, Ordering::SeqCst) + 1 == self.n {
+            self.close();
+        }
+    }
+}
+
+/// Results of a live run under a fault plan.
+#[derive(Debug)]
+pub struct LiveOutcome<R> {
+    /// Each rank's closure result, in rank order.
+    pub results: Vec<R>,
+    /// Aggregate reliability-layer counters across all ranks (all zero
+    /// when the plan was [`FaultPlan::none`]).
+    pub rel: RelStats,
 }
 
 /// Run `f` on `n` ranks over the live runtime; returns each rank's result
@@ -392,8 +656,24 @@ pub fn run_live<R: Send>(
     ab: AbConfig,
     f: impl Fn(&RankCtx) -> R + Send + Sync,
 ) -> Vec<R> {
+    run_live_faults(spec, ab, &FaultPlan::none(), RelConfig::live_default(), f).results
+}
+
+/// [`run_live`] under a seeded [`FaultPlan`]: every engine-originated
+/// packet passes through the fault injector (drop/duplicate/delay/stall)
+/// and the per-rank reliability layer recovers whatever the plan breaks.
+/// Window-scoped rules never fire here (no virtual clock); window-free
+/// plans replay the DES schedule exactly.
+pub fn run_live_faults<R: Send>(
+    spec: &ClusterSpec,
+    ab: AbConfig,
+    plan: &FaultPlan,
+    rel_cfg: RelConfig,
+    f: impl Fn(&RankCtx) -> R + Send + Sync,
+) -> LiveOutcome<R> {
     let n = spec.len() as u32;
     let fabric = Arc::new(LiveFabric::new(n as usize));
+    let faults = (!plan.is_none()).then(|| Arc::new(LiveFaults::new(Arc::clone(&fabric), plan)));
     let shareds: Vec<Arc<RankShared>> = (0..n)
         .map(|r| {
             let config = EngineConfig {
@@ -403,16 +683,69 @@ pub fn run_live<R: Send>(
                 allreduce_rs_threshold: 2048,
             };
             Arc::new(RankShared {
-                engine: Mutex::new(AbEngine::new(r, n, config, ab.clone())),
+                rank: r,
+                engine: Mutex::new(RankState {
+                    eng: AbEngine::new(r, n, config, ab.clone()),
+                    rel: faults.as_ref().map(|_| NodeReliability::new(r, rel_cfg)),
+                    pending_collective: false,
+                }),
                 mailbox: fabric.mailbox(NodeId(r)),
                 fabric: Arc::clone(&fabric),
                 signals_enabled: AtomicBool::new(false),
+                faults: faults.clone(),
             })
         })
         .collect();
     let finished = AtomicUsize::new(0);
     let mut results: Vec<Option<R>> = (0..n).map(|_| None).collect();
     std::thread::scope(|s| {
+        // The delay-queue worker (only under faults).
+        if let Some(fl) = &faults {
+            let fl = Arc::clone(fl);
+            s.spawn(move || fl.delay_worker());
+        }
+        // Optional hang watchdog: with `ABR_LIVE_HANG_DUMP=<seconds>` set,
+        // a run still alive after that long dumps every rank's reliability
+        // window and mailbox depth to stderr (once), for debugging stuck
+        // fault scenarios. Exits with the fabric.
+        if let Ok(secs) = std::env::var("ABR_LIVE_HANG_DUMP") {
+            let secs: u64 = secs
+                .parse()
+                .expect("ABR_LIVE_HANG_DUMP must be a number of seconds");
+            let shareds = shareds.clone();
+            let fabric = Arc::clone(&fabric);
+            s.spawn(move || {
+                let start = Instant::now();
+                let mut dumped = false;
+                while !fabric.mailbox(NodeId(0)).is_closed() {
+                    std::thread::sleep(Duration::from_millis(50));
+                    if !dumped && start.elapsed() >= Duration::from_secs(secs) {
+                        dumped = true;
+                        eprintln!("=== live hang dump after {secs}s ===");
+                        for sh in &shareds {
+                            let mail = sh.mailbox.len();
+                            match sh.engine.try_lock() {
+                                Ok(st) => {
+                                    let rel = st
+                                        .rel
+                                        .as_ref()
+                                        .map(|r| r.debug_summary())
+                                        .unwrap_or_default();
+                                    eprintln!(
+                                        "rank {:2}: mail={mail} {rel} eng={:?}",
+                                        sh.rank,
+                                        st.eng.counters()
+                                    );
+                                }
+                                Err(_) => {
+                                    eprintln!("rank {:2}: mail={mail} <engine lock held>", sh.rank)
+                                }
+                            }
+                        }
+                    }
+                }
+            });
+        }
         // Dispatcher threads (the NIC/kernel signal path).
         for shared in &shareds {
             let shared = Arc::clone(shared);
@@ -422,26 +755,38 @@ pub fn run_live<R: Send>(
         for (r, slot) in results.iter_mut().enumerate() {
             let shared = Arc::clone(&shareds[r]);
             let fabric = Arc::clone(&fabric);
+            let faults = &faults;
             let f = &f;
             let finished = &finished;
             s.spawn(move || {
+                // Declared before `f` runs so its Drop observes a panic
+                // inside the closure and tears the fabric down.
+                let _guard = ShutdownGuard {
+                    fabric: &fabric,
+                    faults: faults.as_ref(),
+                    finished,
+                    n: n as usize,
+                };
                 let ctx = RankCtx {
                     rank: r as u32,
                     size: n,
                     shared: Arc::clone(&shared),
                 };
-                let out = f(&ctx);
-                let _ = &shared;
-                if finished.fetch_add(1, Ordering::SeqCst) + 1 == n as usize {
-                    // Last rank out closes every mailbox so dispatchers and
-                    // any stragglers wake and exit.
-                    fabric.close_all();
-                }
-                *slot = Some(out);
+                *slot = Some(f(&ctx));
             });
         }
     });
-    results.into_iter().map(|r| r.unwrap()).collect()
+    let mut rel = RelStats::default();
+    for shared in &shareds {
+        let st = shared.engine.lock().expect("engine lock poisoned");
+        if let Some(r) = &st.rel {
+            rel.merge(&r.stats());
+        }
+    }
+    LiveOutcome {
+        results: results.into_iter().map(|r| r.unwrap()).collect(),
+        rel,
+    }
 }
 
 #[cfg(test)]
@@ -607,6 +952,48 @@ mod tests {
             }
         });
         assert_eq!(results[1].as_ref().unwrap().as_ref(), &[42u8; 16]);
+    }
+
+    #[test]
+    fn live_panicking_rank_fails_fast_without_hanging() {
+        // Regression: a rank panicking mid-reduction must propagate the
+        // panic out of run_live with every thread joined — not leave the
+        // other ranks blocked forever on a reduction that cannot complete.
+        let start = Instant::now();
+        let res = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            run_live(&spec(4), AbConfig::default(), |ctx| {
+                if ctx.rank() == 3 {
+                    // Die *mid-reduction*: the other ranks are already
+                    // inside the blocking call waiting for this child.
+                    std::thread::sleep(Duration::from_millis(50));
+                    panic!("rank 3 simulated hardware failure");
+                }
+                let data = f64s_to_bytes(&[1.0]);
+                ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data).unwrap()
+            })
+        }));
+        assert!(res.is_err(), "the rank panic must propagate");
+        assert!(
+            start.elapsed() < Duration::from_secs(20),
+            "shutdown hung for {:?}",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn live_faults_none_plan_reports_zero_rel_activity() {
+        let out = run_live_faults(
+            &spec(4),
+            AbConfig::default(),
+            &FaultPlan::none(),
+            RelConfig::live_default(),
+            |ctx| {
+                let data = f64s_to_bytes(&[1.0]);
+                ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data).unwrap()
+            },
+        );
+        assert_eq!(bytes_to_f64s(out.results[0].as_ref().unwrap()), vec![4.0]);
+        assert_eq!(out.rel, RelStats::default());
     }
 
     #[test]

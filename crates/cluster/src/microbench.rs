@@ -21,6 +21,7 @@ use abr_core::{AbConfig, AbEngine, DelayPolicy};
 use abr_des::rng::StreamRng;
 use abr_des::stats::Accumulator;
 use abr_des::{SimDuration, SimTime};
+use abr_faults::{FaultPlan, RelConfig, RelStats};
 use abr_mpr::engine::{Engine, EngineConfig};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::tree;
@@ -80,6 +81,9 @@ pub struct CpuUtilConfig {
     /// node per iteration, and subtracted from the measurement like the
     /// injected delays.
     pub natural_jitter_us: u64,
+    /// Fault plan injected into the network ([`FaultPlan::none`] = clean
+    /// wire, zero-cost).
+    pub faults: FaultPlan,
 }
 
 impl CpuUtilConfig {
@@ -95,6 +99,7 @@ impl CpuUtilConfig {
             seed: 0xC0FFEE,
             catchup_margin_us: 400,
             natural_jitter_us: 40,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -122,6 +127,9 @@ pub struct CpuUtilResult {
     /// Total NIC-processor time across the run (µs) — zero unless the
     /// NIC-offload extension is active.
     pub nic_us_total: f64,
+    /// Aggregate reliability-layer counters (present only when a fault
+    /// plan was active).
+    pub rel: Option<RelStats>,
     /// Raw per-node results.
     pub nodes: Vec<NodeResult>,
 }
@@ -346,8 +354,23 @@ fn aggregate_cpu(nodes: Vec<NodeResult>) -> CpuUtilResult {
         p95_us,
         max_us,
         nic_us_total,
+        rel: None,
         nodes,
     }
+}
+
+/// Run a built driver to completion under the benchmark's fault plan and
+/// aggregate into a [`CpuUtilResult`].
+fn run_cpu_driver<E: abr_mpr::engine::MessageEngine>(
+    mut d: DesDriver<E>,
+    faults: &FaultPlan,
+) -> CpuUtilResult {
+    d.set_faults(faults, RelConfig::sim_default());
+    d.run();
+    let rel = d.rel_stats();
+    let mut res = aggregate_cpu(d.results());
+    res.rel = rel;
+    res
 }
 
 /// Run the CPU-utilization benchmark.
@@ -356,16 +379,15 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
     let programs = cpu_util_programs(cfg);
     match cfg.mode {
         Mode::Baseline => {
-            let mut d = DesDriver::new(
+            let d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| Engine::new(rank, n, ec),
                 programs,
             );
-            d.run();
-            aggregate_cpu(d.results())
+            run_cpu_driver(d, &cfg.faults)
         }
         Mode::Bypass(delay) => {
-            let mut d = DesDriver::new(
+            let d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| {
                     AbEngine::new(
@@ -381,11 +403,10 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
                 },
                 programs,
             );
-            d.run();
-            aggregate_cpu(d.results())
+            run_cpu_driver(d, &cfg.faults)
         }
         Mode::SplitPhase => {
-            let mut d = DesDriver::new(
+            let d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| {
                     AbEngine::new(
@@ -401,17 +422,15 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
                 },
                 programs,
             );
-            d.run();
-            aggregate_cpu(d.results())
+            run_cpu_driver(d, &cfg.faults)
         }
         Mode::NicBypass => {
-            let mut d = DesDriver::new(
+            let d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, AbConfig::nic_offload()),
                 programs,
             );
-            d.run();
-            aggregate_cpu(d.results())
+            run_cpu_driver(d, &cfg.faults)
         }
     }
 }
@@ -536,13 +555,12 @@ pub fn run_bcast_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
     } else {
         AbConfig::disabled()
     };
-    let mut d = DesDriver::new(
+    let d = DesDriver::new(
         &cfg.cluster,
         |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, ab.clone()),
         programs,
     );
-    d.run();
-    aggregate_cpu(d.results())
+    run_cpu_driver(d, &cfg.faults)
 }
 
 // ---------------------------------------------------------------------
@@ -569,6 +587,8 @@ pub struct AppBenchConfig {
     pub mode: Mode,
     /// RNG seed.
     pub seed: u64,
+    /// Fault plan injected into the network.
+    pub faults: FaultPlan,
 }
 
 impl AppBenchConfig {
@@ -582,6 +602,7 @@ impl AppBenchConfig {
             elems: 4,
             mode,
             seed: 0xA11CE,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -712,6 +733,7 @@ pub fn run_app_bench(cfg: &AppBenchConfig) -> AppBenchResult {
                 |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, AbConfig::disabled()),
                 programs,
             );
+            d.set_faults(&cfg.faults, RelConfig::sim_default());
             d.run();
             let makespan = d.now().as_us_f64();
             finish(d.results(), makespan)
@@ -731,6 +753,7 @@ pub fn run_app_bench(cfg: &AppBenchConfig) -> AppBenchResult {
                 |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, ab.clone()),
                 programs,
             );
+            d.set_faults(&cfg.faults, RelConfig::sim_default());
             d.run();
             let makespan = d.now().as_us_f64();
             finish(d.results(), makespan)
@@ -757,6 +780,8 @@ pub struct LatencyConfig {
     pub mode: Mode,
     /// Ping-pong rounds for the one-way calibration.
     pub pings: u64,
+    /// Fault plan injected into the network.
+    pub faults: FaultPlan,
 }
 
 impl LatencyConfig {
@@ -769,6 +794,7 @@ impl LatencyConfig {
             root: 0,
             mode,
             pings: 20,
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -1013,6 +1039,7 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyResult {
                 |rank, ec: EngineConfig| Engine::new(rank, n, ec),
                 programs,
             );
+            d.set_faults(&cfg.faults, RelConfig::sim_default());
             d.run();
             aggregate_latency(d.results())
         }
@@ -1038,6 +1065,7 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyResult {
                 },
                 programs,
             );
+            d.set_faults(&cfg.faults, RelConfig::sim_default());
             d.run();
             aggregate_latency(d.results())
         }

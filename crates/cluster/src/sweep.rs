@@ -23,17 +23,33 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// Worker count from `ABR_JOBS`, falling back to the number of available
-/// cores. Values of `0` and unparsable values mean "use the default".
+/// cores when the variable is unset.
+///
+/// # Panics
+/// Panics on a set-but-invalid `ABR_JOBS` (non-numeric or zero) — a typo'd
+/// job count must not silently fall back to a different parallelism.
 pub fn jobs_from_env() -> usize {
-    std::env::var("ABR_JOBS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1)
-        })
+    match std::env::var("ABR_JOBS") {
+        Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1),
+        Err(e) => panic!("ABR_JOBS is not valid unicode: {e}"),
+        Ok(raw) => match parse_jobs(&raw) {
+            Ok(n) => n,
+            Err(e) => panic!("{e}"),
+        },
+    }
+}
+
+/// Parse an explicit `ABR_JOBS` value: a positive integer.
+pub fn parse_jobs(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("ABR_JOBS must be a positive worker count, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "ABR_JOBS must be a positive worker count, got {raw:?}"
+        )),
+    }
 }
 
 /// Total sweep points executed by this process (all `Sweep` instances);
@@ -217,6 +233,16 @@ mod tests {
     #[test]
     fn jobs_floor_is_one() {
         assert_eq!(Sweep::with_jobs(0).jobs(), 1);
+    }
+
+    #[test]
+    fn parse_jobs_accepts_positive_and_rejects_junk() {
+        assert_eq!(parse_jobs("4"), Ok(4));
+        assert_eq!(parse_jobs(" 16 "), Ok(16));
+        for bad in ["0", "", "four", "-2", "2.5"] {
+            let err = parse_jobs(bad).unwrap_err();
+            assert!(err.contains("ABR_JOBS"), "{bad}: {err}");
+        }
     }
 
     #[test]

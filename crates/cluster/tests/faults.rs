@@ -1,0 +1,189 @@
+//! Fault-injection equivalence: the same seeded `FaultPlan` must replay
+//! identically under the discrete-event driver and the live threaded
+//! driver — identical reduction results and identical deterministic
+//! reliability counters — and a lossy 32-node sweep must still converge
+//! to the fault-free oracle in both bypass and baseline modes.
+
+use abr_cluster::live::run_live_faults;
+use abr_cluster::node::ClusterSpec;
+use abr_cluster::program::{FnProgram, Program, Step, StepCtx};
+use abr_cluster::{DesDriver, FaultPlan, RelConfig, RelStats};
+use abr_core::{AbConfig, AbEngine};
+use abr_faults::{FaultKind, FaultRule, KindSel, LinkSel};
+use abr_mpr::engine::EngineConfig;
+use abr_mpr::op::ReduceOp;
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};
+
+/// Each rank contributes `[rank + 1, 2]`, so the root's sum is
+/// `[n(n+1)/2, 2n]` — easy to oracle without running anything.
+fn rank_input(rank: u32) -> Vec<f64> {
+    vec![rank as f64 + 1.0, 2.0]
+}
+
+fn oracle(n: u32) -> Vec<f64> {
+    vec![(n * (n + 1)) as f64 / 2.0, 2.0 * n as f64]
+}
+
+/// One sum-reduction to root 0 under the DES with `plan` active; returns
+/// the root's result vector and the merged reliability counters.
+fn des_reduce_with_faults(n: u32, ab: AbConfig, plan: &FaultPlan) -> (Vec<f64>, RelStats) {
+    let spec = ClusterSpec::homogeneous_1000(n);
+    let programs: Vec<Box<dyn Program>> = (0..n)
+        .map(|rank| {
+            let mut phase = 0u8;
+            Box::new(FnProgram(move |ctx: &mut StepCtx| {
+                if phase == 0 {
+                    phase = 1;
+                    return Step::Reduce {
+                        root: 0,
+                        op: ReduceOp::Sum,
+                        dtype: Datatype::F64,
+                        data: f64s_to_bytes(&rank_input(rank)),
+                    };
+                }
+                if rank == 0 {
+                    if let Some(d) = ctx.last_data.take() {
+                        for v in bytes_to_f64s(&d) {
+                            ctx.record("result", v);
+                        }
+                    }
+                }
+                Step::Done
+            })) as Box<dyn Program>
+        })
+        .collect();
+    let mut d = DesDriver::new(
+        &spec,
+        |r, ec: EngineConfig| AbEngine::new(r, n, ec, ab.clone()),
+        programs,
+    );
+    d.set_faults(plan, RelConfig::sim_default());
+    d.run();
+    let rel = d.rel_stats().unwrap_or_default();
+    let vals = d.results()[0]
+        .obs
+        .iter()
+        .filter(|o| o.key == "result")
+        .map(|o| o.value)
+        .collect();
+    (vals, rel)
+}
+
+/// The same reduction over real threads under `plan`.
+fn live_reduce_with_faults(n: u32, plan: &FaultPlan) -> (Vec<f64>, RelStats) {
+    let out = run_live_faults(
+        &ClusterSpec::homogeneous_1000(n),
+        AbConfig::default(),
+        plan,
+        RelConfig::live_default(),
+        |ctx| {
+            let data = f64s_to_bytes(&rank_input(ctx.rank()));
+            ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data)
+                .unwrap()
+                .map(|d| bytes_to_f64s(&d))
+        },
+    );
+    let vals = out.results[0].clone().unwrap_or_default();
+    (vals, out.rel)
+}
+
+/// A deterministic scenario: duplicate the first data packet on link
+/// 1 -> 0 and delay the first on link 2 -> 0 (both children of root 0 in
+/// the 8-rank binomial tree). Neither fault loses data, so no
+/// retransmission fires — but the duplicate must be suppressed exactly
+/// once in both drivers, and both must agree on the result.
+#[test]
+fn des_and_live_replay_identical_dup_and_delay_schedule() {
+    let n = 8u32;
+    let plan = FaultPlan {
+        seed: 0xD1CE,
+        rules: vec![
+            FaultRule {
+                link: LinkSel::Between(1, 0),
+                kinds: KindSel::Any,
+                window: None,
+                attempt: Some(0),
+                fault: FaultKind::Duplicate { p: 1.0 },
+            },
+            FaultRule {
+                link: LinkSel::Between(2, 0),
+                kinds: KindSel::Any,
+                window: None,
+                attempt: Some(0),
+                fault: FaultKind::Delay {
+                    p: 1.0,
+                    extra_ns: 200_000,
+                },
+            },
+        ],
+    };
+    let (des_vals, des_rel) = des_reduce_with_faults(n, AbConfig::default(), &plan);
+    let (live_vals, live_rel) = live_reduce_with_faults(n, &plan);
+    assert_eq!(des_vals, oracle(n), "DES result wrong under dup+delay");
+    assert_eq!(live_vals, oracle(n), "live result wrong under dup+delay");
+    assert_eq!(
+        des_rel.duplicates_suppressed, 1,
+        "DES must suppress exactly the one injected duplicate: {des_rel:?}"
+    );
+    assert_eq!(
+        live_rel.duplicates_suppressed, 1,
+        "live must suppress exactly the one injected duplicate: {live_rel:?}"
+    );
+    assert_eq!(des_rel.distinct_retransmitted, 0, "{des_rel:?}");
+    assert_eq!(live_rel.distinct_retransmitted, 0, "{live_rel:?}");
+    assert_eq!(
+        des_rel.data_sent, live_rel.data_sent,
+        "drivers disagree on packets sent: DES {des_rel:?} vs live {live_rel:?}"
+    );
+}
+
+/// Drop the first data packet on link 2 -> 0. The rule is scoped to
+/// attempt 0, so the timeout-driven retransmission (attempt 1) gets
+/// through; both drivers must recover via exactly one distinct
+/// retransmitted packet and still produce the oracle result.
+#[test]
+fn des_and_live_recover_from_identical_drop_schedule() {
+    let n = 8u32;
+    let plan = FaultPlan {
+        seed: 0xD20B,
+        rules: vec![FaultRule {
+            link: LinkSel::Between(2, 0),
+            kinds: KindSel::Any,
+            window: None,
+            attempt: Some(0),
+            fault: FaultKind::Drop { p: 1.0 },
+        }],
+    };
+    let (des_vals, des_rel) = des_reduce_with_faults(n, AbConfig::default(), &plan);
+    let (live_vals, live_rel) = live_reduce_with_faults(n, &plan);
+    assert_eq!(des_vals, oracle(n), "DES result wrong under drop");
+    assert_eq!(live_vals, oracle(n), "live result wrong under drop");
+    assert_eq!(
+        des_rel.distinct_retransmitted, 1,
+        "DES must retransmit the dropped packet once: {des_rel:?}"
+    );
+    assert_eq!(
+        live_rel.distinct_retransmitted, 1,
+        "live must retransmit the dropped packet once: {live_rel:?}"
+    );
+    assert!(des_rel.retransmissions >= 1, "{des_rel:?}");
+    assert!(live_rel.retransmissions >= 1, "{live_rel:?}");
+    assert_eq!(des_rel.data_sent, live_rel.data_sent);
+}
+
+/// 1% seeded loss (drop + duplicate) on 32 nodes: both the bypass and
+/// baseline engines must still converge to the fault-free oracle under
+/// the DES, and a second run of the identical plan must reproduce the
+/// exact same reliability counters (determinism).
+#[test]
+fn lossy_32_node_reduction_matches_oracle_and_is_deterministic() {
+    let n = 32u32;
+    let plan = FaultPlan::uniform_loss(0xBEEF, 0.01);
+    for ab in [AbConfig::default(), AbConfig::disabled()] {
+        let (vals, rel) = des_reduce_with_faults(n, ab.clone(), &plan);
+        assert_eq!(vals, oracle(n), "lossy DES run diverged from oracle");
+        let (vals2, rel2) = des_reduce_with_faults(n, ab, &plan);
+        assert_eq!(vals2, vals, "same plan, different results");
+        assert_eq!(rel2, rel, "same plan, different reliability counters");
+    }
+}

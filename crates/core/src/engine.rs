@@ -104,6 +104,10 @@ pub struct AbEngine {
     /// In-flight split-phase allreduces (§II extension): reduce-to-0 then
     /// broadcast, both bypassed, chained by the progress paths.
     split_allreduces: Vec<SplitAllreduce>,
+    /// Highest reliability sequence seen per source (see
+    /// [`AbStats::duplicates_suppressed`]); independent of the inner
+    /// engine's map, which only ever sees the packets we forward.
+    last_rel_seq: HashMap<u32, u64>,
 }
 
 /// Chaining state of one split-phase allreduce.
@@ -136,6 +140,7 @@ impl AbEngine {
             stats: AbStats::default(),
             hints: HashMap::new(),
             split_allreduces: Vec::new(),
+            last_rel_seq: HashMap::new(),
         }
     }
 
@@ -588,14 +593,18 @@ impl AbEngine {
         {
             let d = self.descriptors.get_mut(idx);
             debug_assert_eq!(d.coll_seq, pkt.header.coll_seq, "instance mismatch");
+            // Idempotence: retire the sender's pending slot *before* folding
+            // so a retransmitted contribution can never be reduced twice.
+            if !d.complete_child(src) {
+                self.stats.duplicates_suppressed += 1;
+                return None;
+            }
             let elems = d.dtype.count(d.acc.len());
             let (op, dtype) = (d.op, d.dtype);
             let op_cost = self.inner.cost().nic_reduce_op(elems);
             self.inner.charge(CpuCategory::NicOffload, op_cost);
             op.apply(dtype, &mut d.acc, &pkt.payload)
                 .expect("op/type checked at post");
-            let was_pending = d.complete_child(src);
-            debug_assert!(was_pending, "sender matched but was not pending");
         }
         self.stats.nic_children += 1;
         self.stats.zero_copy_children += 1;
@@ -623,6 +632,7 @@ impl AbEngine {
                 coll_root: d.root,
                 msg_len: acc.len() as u32,
                 wire_seq: 0,
+                rel_seq: 0,
             };
             self.inner
                 .push_action(Action::Send(Packet::new(header, Bytes::from(acc))));
@@ -681,14 +691,18 @@ impl AbEngine {
         {
             let d = self.descriptors.get_mut(idx);
             debug_assert_eq!(d.coll_seq, pkt.header.coll_seq, "instance mismatch");
+            // Idempotence: retire the sender's pending slot *before* folding
+            // so a retransmitted contribution can never be reduced twice.
+            if !d.complete_child(src) {
+                self.stats.duplicates_suppressed += 1;
+                return None;
+            }
             let elems = d.dtype.count(d.acc.len());
             let (op, dtype) = (d.op, d.dtype);
             let op_cost = self.inner.cost().reduce_op(elems);
             self.inner.charge(CpuCategory::Protocol, op_cost);
             op.apply(dtype, &mut d.acc, &pkt.payload)
                 .expect("op/type checked at post");
-            let was_pending = d.complete_child(src);
-            debug_assert!(was_pending, "sender matched but was not pending");
         }
         self.stats.zero_copy_children += 1;
         if in_signal {
@@ -839,6 +853,17 @@ impl MessageEngine for AbEngine {
     }
 
     fn deliver(&mut self, pkt: Packet) {
+        // Idempotence under retransmission: a duplicate that slipped past
+        // the reliability layer must not reach pre-processing, or its
+        // contribution could fold into a descriptor twice.
+        if pkt.header.rel_seq != 0 {
+            let last = self.last_rel_seq.entry(pkt.header.src.0).or_insert(0);
+            if pkt.header.rel_seq <= *last {
+                self.stats.duplicates_suppressed += 1;
+                return;
+            }
+            *last = pkt.header.rel_seq;
+        }
         self.rx.push_back(pkt);
     }
 
@@ -1013,6 +1038,7 @@ impl MessageEngine for AbEngine {
             ("nic_children", s.nic_children),
             ("bcast_splits", s.bcast_splits),
             ("bcast_forwards", s.bcast_forwards),
+            ("ab_duplicates_suppressed", s.duplicates_suppressed),
         ]);
         c
     }

@@ -54,6 +54,9 @@ pub struct AbStats {
     pub async_bcasts: u64,
     /// Split-phase allreduces posted (§II extension).
     pub allreduce_splits: u64,
+    /// Retransmitted duplicates suppressed by the bypass layer (repeat
+    /// `rel_seq` at delivery, or a non-pending sender at descriptor match).
+    pub duplicates_suppressed: u64,
 }
 
 impl AbStats {

@@ -222,6 +222,7 @@ mod tests {
                 coll_root: 0,
                 msg_len: len as u32,
                 wire_seq: 0,
+                rel_seq: 0,
             },
             Bytes::from(vec![0u8; len]),
         )

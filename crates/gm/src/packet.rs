@@ -41,6 +41,10 @@ pub enum PacketKind {
     /// The paper's new collective type: like `Eager`, but the NIC raises a
     /// host signal on arrival when signals are enabled.
     Collective,
+    /// Reliability acknowledgement (`abr_faults` layer): header-only, its
+    /// `rel_seq` field carries the cumulative ack. Consumed by the
+    /// transport's reliability state — engines never see one.
+    Ack,
 }
 
 impl PacketKind {
@@ -55,7 +59,10 @@ impl PacketKind {
     /// a header-only control packet).
     #[inline]
     pub fn carries_payload(self) -> bool {
-        !matches!(self, PacketKind::RendezvousRts | PacketKind::RendezvousCts)
+        !matches!(
+            self,
+            PacketKind::RendezvousRts | PacketKind::RendezvousCts | PacketKind::Ack
+        )
     }
 }
 
@@ -92,6 +99,10 @@ pub struct PacketHeader {
     /// Per-(src,dst) monotone sequence number; transports use it to assert
     /// the FIFO ordering GM guarantees.
     pub wire_seq: u64,
+    /// Reliability sequence number (`abr_faults` layer). Zero when the
+    /// reliability protocol is inactive; data sequences start at 1. For
+    /// [`PacketKind::Ack`] this field carries the cumulative ack instead.
+    pub rel_seq: u64,
 }
 
 /// A packet: header plus (possibly empty) payload bytes.
@@ -148,6 +159,7 @@ mod tests {
             coll_root: 0,
             msg_len: len,
             wire_seq: 0,
+            rel_seq: 0,
         }
     }
 
@@ -159,6 +171,7 @@ mod tests {
             PacketKind::RendezvousRts,
             PacketKind::RendezvousCts,
             PacketKind::RendezvousData,
+            PacketKind::Ack,
         ] {
             assert!(!k.generates_signal(), "{k:?} must not signal");
         }
@@ -168,6 +181,7 @@ mod tests {
     fn control_packets_carry_no_payload() {
         assert!(!PacketKind::RendezvousRts.carries_payload());
         assert!(!PacketKind::RendezvousCts.carries_payload());
+        assert!(!PacketKind::Ack.carries_payload());
         assert!(PacketKind::Eager.carries_payload());
         assert!(PacketKind::Collective.carries_payload());
         assert!(PacketKind::RendezvousData.carries_payload());

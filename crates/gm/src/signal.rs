@@ -136,6 +136,7 @@ mod tests {
                 coll_root: 0,
                 msg_len: 0,
                 wire_seq: 0,
+                rel_seq: 0,
             },
             Bytes::new(),
         )

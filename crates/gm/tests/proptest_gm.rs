@@ -24,6 +24,7 @@ fn packet(src: u32, dst: u32, len: usize) -> Packet {
             coll_root: 0,
             msg_len: len as u32,
             wire_seq: 0,
+            rel_seq: 0,
         },
         Bytes::from(vec![0u8; len]),
     )
@@ -119,6 +120,7 @@ proptest! {
                 coll_root: 0,
                 msg_len: 0,
                 wire_seq: 0,
+                rel_seq: 0,
             },
             Bytes::new(),
         );

@@ -96,6 +96,9 @@ pub struct EngineStats {
     pub polls: u64,
     /// Collectives completed.
     pub colls_completed: u64,
+    /// Retransmitted duplicates dropped before matching (reliability layer
+    /// active and a repeat `rel_seq` arrived).
+    pub duplicates_suppressed: u64,
 }
 
 /// The per-rank protocol engine. See the module docs.
@@ -120,6 +123,9 @@ pub struct Engine {
     reduce_packet_kind: PacketKind,
     derived_comms: u32,
     last_wire_seq: HashMap<Rank, u64>,
+    /// Highest reliability sequence seen per source; duplicates at or below
+    /// it are dropped before matching (idempotent duplicate suppression).
+    last_rel_seq: HashMap<Rank, u64>,
 }
 
 /// Result of stepping one collective.
@@ -172,6 +178,7 @@ impl Engine {
             reduce_packet_kind: PacketKind::Eager,
             derived_comms: 0,
             last_wire_seq: HashMap::new(),
+            last_rel_seq: HashMap::new(),
         }
     }
 
@@ -408,6 +415,7 @@ impl Engine {
                 coll_root,
                 msg_len: data.len() as u32,
                 wire_seq: 0,
+                rel_seq: 0,
             };
             self.actions.push(Action::Send(Packet::new(header, data)));
             self.stats.eager_sent += 1;
@@ -434,6 +442,7 @@ impl Engine {
                 coll_root: 0,
                 msg_len: data.len() as u32,
                 wire_seq: 0,
+                rel_seq: 0,
             };
             self.actions
                 .push(Action::Send(Packet::new(header, Bytes::new())));
@@ -1059,9 +1068,22 @@ impl Engine {
     // ------------------------------------------------------------------
 
     fn process_packet(&mut self, pkt: Packet) {
+        let src = pkt.header.src.0;
+        // Idempotence under retransmission: when the reliability layer is
+        // active (rel_seq != 0) a duplicate that slipped past it must not
+        // reach matching, or a retransmitted contribution would be reduced
+        // twice. Checked before the FIFO assert — a duplicate is a repeat,
+        // not an ordering violation.
+        if pkt.header.rel_seq != 0 {
+            let last = self.last_rel_seq.entry(src).or_insert(0);
+            if pkt.header.rel_seq <= *last {
+                self.stats.duplicates_suppressed += 1;
+                return;
+            }
+            *last = pkt.header.rel_seq;
+        }
         self.stats.packets_processed += 1;
         // GM delivers in order per (src, dst); assert it.
-        let src = pkt.header.src.0;
         if let Some(prev) = self.last_wire_seq.insert(src, pkt.header.wire_seq) {
             debug_assert!(
                 pkt.header.wire_seq > prev,
@@ -1074,6 +1096,9 @@ impl Engine {
             PacketKind::RendezvousRts => self.process_rts(pkt),
             PacketKind::RendezvousCts => self.process_cts(pkt),
             PacketKind::RendezvousData => self.process_rndv_data(pkt),
+            PacketKind::Ack => {
+                debug_assert!(false, "reliability acks must be consumed by the transport");
+            }
         }
     }
 
@@ -1199,6 +1224,7 @@ impl Engine {
             coll_root: 0,
             msg_len: msg_len as u32,
             wire_seq: 0,
+            rel_seq: 0,
         };
         self.actions
             .push(Action::Send(Packet::new(header, Bytes::new())));
@@ -1230,6 +1256,7 @@ impl Engine {
             coll_root: 0,
             msg_len: data.len() as u32,
             wire_seq: 0,
+            rel_seq: 0,
         };
         let region = rs.region;
         self.charge(CpuCategory::Protocol, self.config.cost.rndv_control_host());
@@ -1883,6 +1910,7 @@ impl MessageEngine for Engine {
             ("copy_bytes", s.copy_bytes),
             ("polls", s.polls),
             ("colls_completed", s.colls_completed),
+            ("duplicates_suppressed", s.duplicates_suppressed),
         ]
     }
 }

@@ -18,4 +18,9 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> fault smoke sweep (loss figure under seeded 1% drop+dup)"
+ABR_ITERS=20 ABR_JOBS=2 ABR_SWEEP_JSON=BENCH_sweep.json \
+  ABR_FAULTS="seed=7; drop p=0.01; dup p=0.01" \
+  cargo run -q --release -p abr_bench --bin loss_figure
+
 echo "CI gate passed."

@@ -1,0 +1,133 @@
+//! Fault-tolerance property tests: under seeded random loss the full
+//! stack (reliability layer + engine-level duplicate suppression) must
+//! always converge to the fault-free oracle, in both bypass and baseline
+//! modes, under both drivers.
+
+use abr_cluster::live::run_live_faults;
+use abr_cluster::node::ClusterSpec;
+use abr_cluster::program::{FnProgram, Program, Step, StepCtx};
+use abr_cluster::{DesDriver, FaultPlan, RelConfig};
+use abr_core::{AbConfig, AbEngine};
+use abr_faults::RelStats;
+use abr_mpr::engine::EngineConfig;
+use abr_mpr::op::ReduceOp;
+use abr_mpr::types::{bytes_to_f64s, f64s_to_bytes, Datatype};
+use proptest::prelude::*;
+
+const N: u32 = 32;
+
+fn rank_input(rank: u32) -> Vec<f64> {
+    vec![rank as f64 + 1.0, 0.5 * rank as f64]
+}
+
+fn oracle() -> Vec<f64> {
+    let mut sum = vec![0.0, 0.0];
+    for r in 0..N {
+        let v = rank_input(r);
+        sum[0] += v[0];
+        sum[1] += v[1];
+    }
+    sum
+}
+
+/// One 32-node sum-reduction to root 0 under the DES with `plan`.
+fn des_lossy_reduce(ab: AbConfig, plan: &FaultPlan) -> (Vec<f64>, RelStats) {
+    let spec = ClusterSpec::homogeneous_1000(N);
+    let programs: Vec<Box<dyn Program>> = (0..N)
+        .map(|rank| {
+            let mut phase = 0u8;
+            Box::new(FnProgram(move |ctx: &mut StepCtx| {
+                if phase == 0 {
+                    phase = 1;
+                    return Step::Reduce {
+                        root: 0,
+                        op: ReduceOp::Sum,
+                        dtype: Datatype::F64,
+                        data: f64s_to_bytes(&rank_input(rank)),
+                    };
+                }
+                if rank == 0 {
+                    if let Some(d) = ctx.last_data.take() {
+                        for v in bytes_to_f64s(&d) {
+                            ctx.record("result", v);
+                        }
+                    }
+                }
+                Step::Done
+            })) as Box<dyn Program>
+        })
+        .collect();
+    let mut d = DesDriver::new(
+        &spec,
+        |r, ec: EngineConfig| AbEngine::new(r, N, ec, ab.clone()),
+        programs,
+    );
+    d.set_faults(plan, RelConfig::sim_default());
+    d.run();
+    let rel = d.rel_stats().unwrap_or_default();
+    let vals = d.results()[0]
+        .obs
+        .iter()
+        .filter(|o| o.key == "result")
+        .map(|o| o.value)
+        .collect();
+    (vals, rel)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// 1% drop + 1% duplicate with a random seed: the reduction must
+    /// always produce the fault-free result, bypass and baseline alike,
+    /// and the two modes must agree bit-for-bit with each other.
+    #[test]
+    fn prop_lossy_des_reduction_matches_fault_free_oracle(seed in 0u64..u64::MAX) {
+        let plan = FaultPlan::uniform_loss(seed, 0.01);
+        let (ab_vals, _) = des_lossy_reduce(AbConfig::default(), &plan);
+        let (nab_vals, _) = des_lossy_reduce(AbConfig::disabled(), &plan);
+        prop_assert_eq!(&ab_vals, &oracle(), "bypass diverged under loss, seed {}", seed);
+        prop_assert_eq!(&nab_vals, &oracle(), "baseline diverged under loss, seed {}", seed);
+        prop_assert_eq!(&ab_vals, &nab_vals, "ab and nab disagree under loss, seed {}", seed);
+    }
+
+    /// Heavier loss (5%) still converges — the retry budget (10) is far
+    /// deeper than any plausible consecutive-loss streak at p=0.05.
+    #[test]
+    fn prop_heavy_loss_still_converges(seed in 0u64..u64::MAX) {
+        let plan = FaultPlan::uniform_loss(seed, 0.05);
+        let (vals, rel) = des_lossy_reduce(AbConfig::default(), &plan);
+        prop_assert_eq!(&vals, &oracle(), "seed {}: {:?}", seed, rel);
+        prop_assert_eq!(rel.links_dead, 0, "seed {}: {:?}", seed, rel);
+    }
+}
+
+/// The live threaded driver recovers from the same class of seeded loss on
+/// the full 32-rank cluster. The RTO is shortened from the 200 ms live
+/// default to keep the test quick; 20 ms is still orders of magnitude
+/// above scheduler noise, so no spurious retransmission storm can start.
+#[test]
+fn live_32_rank_reduction_survives_seeded_loss() {
+    let rel_cfg = RelConfig {
+        rto_ns: 20_000_000,
+        backoff: 2,
+        max_retries: 10,
+    };
+    for seed in [1u64, 0xABCD, 0x5EED_F00D] {
+        let plan = FaultPlan::uniform_loss(seed, 0.01);
+        let out = run_live_faults(
+            &ClusterSpec::homogeneous_1000(N),
+            AbConfig::default(),
+            &plan,
+            rel_cfg,
+            |ctx| {
+                let data = f64s_to_bytes(&rank_input(ctx.rank()));
+                ctx.reduce(0, ReduceOp::Sum, Datatype::F64, &data)
+                    .unwrap()
+                    .map(|d| bytes_to_f64s(&d))
+            },
+        );
+        let root = out.results[0].clone().expect("root result");
+        assert_eq!(root, oracle(), "seed {seed}: live lossy run diverged");
+        assert_eq!(out.rel.links_dead, 0, "seed {seed}: {:?}", out.rel);
+    }
+}
