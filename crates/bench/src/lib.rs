@@ -20,14 +20,7 @@ pub mod sweep_json;
 /// Panics on a set-but-invalid `ABR_ITERS` (non-numeric or zero) — a typo'd
 /// iteration count must not silently run the default.
 pub fn iters() -> u64 {
-    match std::env::var("ABR_ITERS") {
-        Err(std::env::VarError::NotPresent) => 300,
-        Err(e) => panic!("ABR_ITERS is not valid unicode: {e}"),
-        Ok(raw) => match parse_iters(&raw) {
-            Ok(n) => n,
-            Err(e) => panic!("{e}"),
-        },
-    }
+    abr_trace::parse_env("ABR_ITERS", parse_iters).unwrap_or(300)
 }
 
 /// Parse an explicit `ABR_ITERS` value: a positive iteration count.

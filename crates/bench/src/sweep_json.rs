@@ -49,14 +49,8 @@ pub fn timed_figure(
 /// Panics on a set-but-empty `ABR_SWEEP_JSON` — an empty path would make the
 /// write fail after the whole sweep has already run.
 pub fn out_path() -> String {
-    match std::env::var("ABR_SWEEP_JSON") {
-        Err(std::env::VarError::NotPresent) => "BENCH_sweep.json".to_string(),
-        Err(e) => panic!("ABR_SWEEP_JSON is not valid unicode: {e}"),
-        Ok(raw) => match parse_out_path(&raw) {
-            Ok(p) => p,
-            Err(e) => panic!("{e}"),
-        },
-    }
+    abr_trace::parse_env("ABR_SWEEP_JSON", parse_out_path)
+        .unwrap_or_else(|| "BENCH_sweep.json".to_string())
 }
 
 /// Validate an explicit `ABR_SWEEP_JSON` value: any non-empty path.

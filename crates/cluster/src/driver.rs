@@ -35,7 +35,9 @@ use abr_mpr::engine::{Action, EngineConfig, MessageEngine};
 use abr_mpr::request::Outcome;
 use abr_mpr::types::TagSel;
 use abr_mpr::ReqId;
+use abr_trace::{TraceEvent, TraceHandle, Tracer};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 enum Ev {
     Deliver {
@@ -107,6 +109,8 @@ struct NodeCell<E: MessageEngine> {
     /// NIC time from the most recent `apply_charges` (drives NIC-side
     /// forwarding latency in the offload extension).
     last_nic_charge: SimDuration,
+    /// Per-rank trace handle (disabled by default; see `install_tracer`).
+    trace: TraceHandle,
 }
 
 /// One recorded span of node activity (timeline introspection; used by the
@@ -160,6 +164,7 @@ pub struct DesDriver<E: MessageEngine> {
     /// Reused buffer for draining engine actions (see `route_actions`).
     action_scratch: Vec<Action>,
     faults: Option<FaultState>,
+    tracer: Option<Arc<dyn Tracer>>,
 }
 
 impl<E: MessageEngine> DesDriver<E> {
@@ -198,6 +203,7 @@ impl<E: MessageEngine> DesDriver<E> {
                 synth_signals: 0,
                 interrupt_debt: SimDuration::ZERO,
                 last_nic_charge: SimDuration::ZERO,
+                trace: TraceHandle::default(),
             })
             .collect();
         DesDriver {
@@ -211,7 +217,33 @@ impl<E: MessageEngine> DesDriver<E> {
             timeline: None,
             action_scratch: Vec::new(),
             faults: None,
+            tracer: None,
         }
+    }
+
+    /// Wire a [`Tracer`] through the whole stack: each rank's CPU meter,
+    /// engine, signal control and (when faults are installed) reliability
+    /// layer gets a per-rank handle, the network emits per-segment wire
+    /// charges, and the event queue publishes virtual time to the recorder
+    /// on every pop. With no tracer installed every one of those sites is a
+    /// single `Option` branch (cost neutrality, like [`FaultPlan::none`]).
+    pub fn install_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        self.queue.set_tracer(TraceHandle::new(tracer.clone(), 0));
+        self.network.set_tracer(TraceHandle::new(tracer.clone(), 0));
+        for (i, cell) in self.nodes.iter_mut().enumerate() {
+            let h = TraceHandle::new(tracer.clone(), i as u32);
+            cell.meter.set_tracer(h.clone());
+            cell.signal.set_tracer(h.clone());
+            cell.engine.set_tracer(h.clone());
+            cell.trace = h;
+        }
+        if let Some(f) = &mut self.faults {
+            f.injector.set_tracer(TraceHandle::new(tracer.clone(), 0));
+            for (i, r) in f.rel.iter_mut().enumerate() {
+                r.set_tracer(TraceHandle::new(tracer.clone(), i as u32));
+            }
+        }
+        self.tracer = Some(tracer);
     }
 
     /// Install a fault plan and the reliability layer that tolerates it.
@@ -222,13 +254,22 @@ impl<E: MessageEngine> DesDriver<E> {
             return;
         }
         let n = self.nodes.len();
-        self.faults = Some(FaultState {
+        let mut state = FaultState {
             injector: FaultInjector::new(plan.clone()),
             rel: (0..n)
                 .map(|i| NodeReliability::new(i as u32, rel_cfg))
                 .collect(),
             tick: vec![None; n],
-        });
+        };
+        if let Some(tracer) = &self.tracer {
+            state
+                .injector
+                .set_tracer(TraceHandle::new(tracer.clone(), 0));
+            for (i, r) in state.rel.iter_mut().enumerate() {
+                r.set_tracer(TraceHandle::new(tracer.clone(), i as u32));
+            }
+        }
+        self.faults = Some(state);
     }
 
     /// Aggregate reliability-layer counters across all nodes, if the fault
@@ -735,6 +776,9 @@ impl<E: MessageEngine> DesDriver<E> {
             };
             match step {
                 Step::Busy(d) => {
+                    self.nodes[i]
+                        .trace
+                        .emit(TraceEvent::EngineState { state: "busy" });
                     let end = t + d;
                     let gen = self.nodes[i].gen;
                     let event = self.queue.schedule(end, Ev::StepDone { node: i, gen });
@@ -750,6 +794,9 @@ impl<E: MessageEngine> DesDriver<E> {
                     self.nodes[i].ctx.last_window = Some(w);
                 }
                 Step::Done => {
+                    self.nodes[i]
+                        .trace
+                        .emit(TraceEvent::EngineState { state: "done" });
                     self.nodes[i].state = NodeState::Done;
                     self.nodes[i].gen += 1;
                     self.done_count += 1;
@@ -834,6 +881,9 @@ impl<E: MessageEngine> DesDriver<E> {
                 },
             )
         });
+        self.nodes[i]
+            .trace
+            .emit(TraceEvent::EngineState { state: "blocked" });
         self.nodes[i].state = NodeState::Blocked {
             req,
             deadline_event,

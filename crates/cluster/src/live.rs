@@ -23,6 +23,7 @@ use abr_mpr::op::ReduceOp;
 use abr_mpr::request::Outcome;
 use abr_mpr::types::{Datatype, MprError, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
+use abr_trace::{TraceHandle, Tracer};
 use bytes::Bytes;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
@@ -671,9 +672,35 @@ pub fn run_live_faults<R: Send>(
     rel_cfg: RelConfig,
     f: impl Fn(&RankCtx) -> R + Send + Sync,
 ) -> LiveOutcome<R> {
+    run_live_traced(spec, ab, plan, rel_cfg, None, f)
+}
+
+/// [`run_live_faults`] with an optional [`Tracer`] wired through the stack:
+/// each rank's engine and reliability layer gets a per-rank handle and the
+/// fault injector reports its verdicts. Live events carry wall-clock stamps
+/// (build the recorder with [`abr_trace::TraceClock::Wall`]); the engines
+/// still emit the same ordered send/recv skeleton as the DES driver for the
+/// same seed and plan.
+pub fn run_live_traced<R: Send>(
+    spec: &ClusterSpec,
+    ab: AbConfig,
+    plan: &FaultPlan,
+    rel_cfg: RelConfig,
+    tracer: Option<Arc<dyn Tracer>>,
+    f: impl Fn(&RankCtx) -> R + Send + Sync,
+) -> LiveOutcome<R> {
     let n = spec.len() as u32;
     let fabric = Arc::new(LiveFabric::new(n as usize));
-    let faults = (!plan.is_none()).then(|| Arc::new(LiveFaults::new(Arc::clone(&fabric), plan)));
+    let faults = (!plan.is_none()).then(|| {
+        let fl = LiveFaults::new(Arc::clone(&fabric), plan);
+        if let Some(t) = &tracer {
+            fl.injector
+                .lock()
+                .expect("fault injector lock poisoned")
+                .set_tracer(TraceHandle::new(t.clone(), 0));
+        }
+        Arc::new(fl)
+    });
     let shareds: Vec<Arc<RankShared>> = (0..n)
         .map(|r| {
             let config = EngineConfig {
@@ -682,13 +709,21 @@ pub fn run_live_faults<R: Send>(
                 memory_budget: None,
                 allreduce_rs_threshold: 2048,
             };
+            let mut state = RankState {
+                eng: AbEngine::new(r, n, config, ab.clone()),
+                rel: faults.as_ref().map(|_| NodeReliability::new(r, rel_cfg)),
+                pending_collective: false,
+            };
+            if let Some(t) = &tracer {
+                let h = TraceHandle::new(t.clone(), r);
+                state.eng.set_tracer(h.clone());
+                if let Some(rel) = &mut state.rel {
+                    rel.set_tracer(h);
+                }
+            }
             Arc::new(RankShared {
                 rank: r,
-                engine: Mutex::new(RankState {
-                    eng: AbEngine::new(r, n, config, ab.clone()),
-                    rel: faults.as_ref().map(|_| NodeReliability::new(r, rel_cfg)),
-                    pending_collective: false,
-                }),
+                engine: Mutex::new(state),
                 mailbox: fabric.mailbox(NodeId(r)),
                 fabric: Arc::clone(&fabric),
                 signals_enabled: AtomicBool::new(false),
@@ -708,10 +743,10 @@ pub fn run_live_faults<R: Send>(
         // a run still alive after that long dumps every rank's reliability
         // window and mailbox depth to stderr (once), for debugging stuck
         // fault scenarios. Exits with the fabric.
-        if let Ok(secs) = std::env::var("ABR_LIVE_HANG_DUMP") {
-            let secs: u64 = secs
-                .parse()
-                .expect("ABR_LIVE_HANG_DUMP must be a number of seconds");
+        if let Some(secs) = abr_trace::parse_env("ABR_LIVE_HANG_DUMP", |s| {
+            s.parse::<u64>()
+                .map_err(|e| format!("must be a number of seconds: {e}"))
+        }) {
             let shareds = shareds.clone();
             let fabric = Arc::clone(&fabric);
             s.spawn(move || {

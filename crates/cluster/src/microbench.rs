@@ -26,7 +26,9 @@ use abr_mpr::engine::{Engine, EngineConfig};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::tree;
 use abr_mpr::types::{f64s_to_bytes, Datatype, Rank};
+use abr_trace::Tracer;
 use bytes::Bytes;
+use std::sync::Arc;
 
 /// Which implementation to run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -364,7 +366,11 @@ fn aggregate_cpu(nodes: Vec<NodeResult>) -> CpuUtilResult {
 fn run_cpu_driver<E: abr_mpr::engine::MessageEngine>(
     mut d: DesDriver<E>,
     faults: &FaultPlan,
+    tracer: Option<Arc<dyn Tracer>>,
 ) -> CpuUtilResult {
+    if let Some(t) = tracer {
+        d.install_tracer(t);
+    }
     d.set_faults(faults, RelConfig::sim_default());
     d.run();
     let rel = d.rel_stats();
@@ -375,6 +381,12 @@ fn run_cpu_driver<E: abr_mpr::engine::MessageEngine>(
 
 /// Run the CPU-utilization benchmark.
 pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
+    run_cpu_util_traced(cfg, None)
+}
+
+/// [`run_cpu_util`] with an optional [`Tracer`] installed on the driver
+/// (see [`DesDriver::install_tracer`]); `None` is the cost-free default.
+pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>) -> CpuUtilResult {
     let n = cfg.cluster.len() as u32;
     let programs = cpu_util_programs(cfg);
     match cfg.mode {
@@ -384,7 +396,7 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
                 |rank, ec: EngineConfig| Engine::new(rank, n, ec),
                 programs,
             );
-            run_cpu_driver(d, &cfg.faults)
+            run_cpu_driver(d, &cfg.faults, tracer)
         }
         Mode::Bypass(delay) => {
             let d = DesDriver::new(
@@ -403,7 +415,7 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
                 },
                 programs,
             );
-            run_cpu_driver(d, &cfg.faults)
+            run_cpu_driver(d, &cfg.faults, tracer)
         }
         Mode::SplitPhase => {
             let d = DesDriver::new(
@@ -422,7 +434,7 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
                 },
                 programs,
             );
-            run_cpu_driver(d, &cfg.faults)
+            run_cpu_driver(d, &cfg.faults, tracer)
         }
         Mode::NicBypass => {
             let d = DesDriver::new(
@@ -430,7 +442,7 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
                 |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, AbConfig::nic_offload()),
                 programs,
             );
-            run_cpu_driver(d, &cfg.faults)
+            run_cpu_driver(d, &cfg.faults, tracer)
         }
     }
 }
@@ -560,7 +572,7 @@ pub fn run_bcast_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
         |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, ab.clone()),
         programs,
     );
-    run_cpu_driver(d, &cfg.faults)
+    run_cpu_driver(d, &cfg.faults, None)
 }
 
 // ---------------------------------------------------------------------

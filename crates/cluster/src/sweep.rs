@@ -29,16 +29,11 @@ use std::sync::Mutex;
 /// Panics on a set-but-invalid `ABR_JOBS` (non-numeric or zero) — a typo'd
 /// job count must not silently fall back to a different parallelism.
 pub fn jobs_from_env() -> usize {
-    match std::env::var("ABR_JOBS") {
-        Err(std::env::VarError::NotPresent) => std::thread::available_parallelism()
+    abr_trace::parse_env("ABR_JOBS", parse_jobs).unwrap_or_else(|| {
+        std::thread::available_parallelism()
             .map(|n| n.get())
-            .unwrap_or(1),
-        Err(e) => panic!("ABR_JOBS is not valid unicode: {e}"),
-        Ok(raw) => match parse_jobs(&raw) {
-            Ok(n) => n,
-            Err(e) => panic!("{e}"),
-        },
-    }
+            .unwrap_or(1)
+    })
 }
 
 /// Parse an explicit `ABR_JOBS` value: a positive integer.

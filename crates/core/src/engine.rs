@@ -38,6 +38,7 @@ use abr_mpr::request::Outcome;
 use abr_mpr::tree;
 use abr_mpr::types::{coll_code, coll_tag, coll_tag_code, Datatype, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
+use abr_trace::{TraceEvent, TraceHandle};
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 
@@ -450,6 +451,9 @@ impl AbEngine {
     ) -> ReqId {
         let rank = self.inner.rank();
         let ctx = comm.coll_context;
+        self.inner.tracer().emit(TraceEvent::PhaseEnter {
+            phase: "reduce-sync",
+        });
         // Fig. 3: first, disable signals — we will be making communication
         // progress explicitly inside the call.
         self.set_signals(false);
@@ -541,6 +545,9 @@ impl AbEngine {
         } else {
             self.stats.completed_in_sync += 1;
         }
+        self.inner.tracer().emit(TraceEvent::PhaseExit {
+            phase: "reduce-sync",
+        });
         req
     }
 
@@ -720,6 +727,9 @@ impl AbEngine {
     /// result to the parent (or hand it to the split-phase root's request),
     /// dequeue, and disable signals if nothing remains outstanding (Fig. 5).
     fn finish_descriptor(&mut self, idx: usize, in_signal: bool) {
+        self.inner.tracer().emit(TraceEvent::EngineState {
+            state: "descriptor-done",
+        });
         let d = self.descriptors.remove(idx);
         let desc_cost = self.inner.cost().descriptor();
         self.inner.charge(CpuCategory::Protocol, desc_cost);
@@ -801,6 +811,9 @@ impl AbEngine {
     /// The parent's broadcast payload is in hand: forward it down the
     /// subtree and complete the split-phase request with the data.
     fn deliver_bcast(&mut self, w: BcastWait, data: Bytes, in_signal: bool) {
+        self.inner.tracer().emit(TraceEvent::EngineState {
+            state: "bcast-delivered",
+        });
         let desc_cost = self.inner.cost().descriptor();
         self.inner.charge(CpuCategory::Protocol, desc_cost);
         for child in &w.children {
@@ -833,8 +846,21 @@ impl AbEngine {
         let mut progressed = false;
         while let Some(pkt) = self.rx.pop_front() {
             progressed = true;
+            let (src, kind, bytes) = (
+                pkt.header.src.0,
+                pkt.header.kind.label(),
+                pkt.header.msg_len,
+            );
             if let Some(pass) = self.preprocess(pkt, in_signal) {
+                // Pass-through: the inner engine emits its PacketRecv
+                // when it processes the packet.
                 self.inner.deliver(pass);
+            } else {
+                // Consumed by pre-processing: this was the acceptance
+                // point, so emit the engine-level receive here.
+                self.inner
+                    .tracer()
+                    .emit(TraceEvent::PacketRecv { src, kind, bytes });
             }
         }
         progressed
@@ -850,6 +876,10 @@ impl MessageEngine for AbEngine {
     }
     fn world(&self) -> Communicator {
         self.inner.world()
+    }
+
+    fn set_tracer(&mut self, trace: TraceHandle) {
+        self.inner.set_tracer(trace);
     }
 
     fn deliver(&mut self, pkt: Packet) {
@@ -878,6 +908,9 @@ impl MessageEngine for AbEngine {
     /// signal-handler CPU.
     fn handle_signal(&mut self) -> bool {
         self.stats.signals_handled += 1;
+        self.inner.tracer().emit(TraceEvent::PhaseEnter {
+            phase: "signal-handler",
+        });
         let stash = self.inner.take_charges();
         let sig_cost = self.inner.cost().signal_cost();
         self.inner.charge(CpuCategory::SignalHandler, sig_cost);
@@ -890,6 +923,9 @@ impl MessageEngine for AbEngine {
         recat.add(CpuCategory::SignalHandler, work.total());
         self.inner.merge_charges(stash);
         self.inner.merge_charges(recat);
+        self.inner.tracer().emit(TraceEvent::PhaseExit {
+            phase: "signal-handler",
+        });
         a || b
     }
 

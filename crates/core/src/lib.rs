@@ -25,6 +25,12 @@
 //! The decision table (§V-B): root and leaf ranks, and messages beyond the
 //! eager limit, fall back to the stock blocking reduction; internal tree
 //! nodes run bypassed.
+//!
+//! **Tracing**: with an [`abr_trace::TraceHandle`] installed (via
+//! `MessageEngine::set_tracer`), [`AbEngine`] brackets the synchronous
+//! reduction component (`reduce-sync`) and the asynchronous handler
+//! (`signal-handler`) as phase events and marks descriptor/broadcast
+//! completions, so a Chrome timeline shows Figs. 3-5 as they execute.
 
 //! # Example
 //!
@@ -51,7 +57,7 @@
 //! assert!(e.signals_enabled(), "and will finish via a signal");
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod bcast;
 pub mod delay;

@@ -110,6 +110,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     now: SimTime,
     popped: u64,
+    trace: abr_trace::TraceHandle,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -130,7 +131,17 @@ impl<E> EventQueue<E> {
             next_seq: 0,
             now: SimTime::ZERO,
             popped: 0,
+            trace: abr_trace::TraceHandle::default(),
         }
+    }
+
+    /// Publish the virtual clock to `trace` as events are dispatched:
+    /// every pop forwards its timestamp via `TraceHandle::set_now_ns`,
+    /// making the event loop the single time source for all trace
+    /// records in a DES run. A disabled handle (the default) costs one
+    /// branch per pop.
+    pub fn set_tracer(&mut self, trace: abr_trace::TraceHandle) {
+        self.trace = trace;
     }
 
     /// The current virtual time: the timestamp of the most recently popped
@@ -252,6 +263,7 @@ impl<E> EventQueue<E> {
             debug_assert!(entry.at >= self.now, "event queue produced time travel");
             self.now = entry.at;
             self.popped += 1;
+            self.trace.set_now_ns(entry.at.as_nanos());
             return Some(ScheduledEvent {
                 at: entry.at,
                 id: EventId::new(entry.slot, entry.gen),

@@ -16,6 +16,13 @@
 //!
 //! The kernel is intentionally generic: it knows nothing about networks,
 //! NICs or MPI. Higher layers define their own event payload types.
+//!
+//! **Tracing**: with an [`abr_trace::TraceHandle`] installed,
+//! [`EventQueue::pop`] publishes virtual time to the recorder (making the
+//! event loop the single time source for trace stamps) and every
+//! [`CpuMeter::charge`] emits a `CpuCharge` event, so trace-side CPU
+//! attribution reconciles with the meters by construction. Without a
+//! handle both sites cost one `Option` branch.
 
 //! # Example
 //!
@@ -30,7 +37,7 @@
 //! assert_eq!(q.now(), SimTime::from_us(30));
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod event;
 pub mod meter;

@@ -13,6 +13,7 @@
 //! [`CpuWindow::host_total`] because it does not occupy the host CPU.
 
 use crate::time::SimDuration;
+use abr_trace::{TraceEvent, TraceHandle};
 
 /// Labels for where CPU time went; used for diagnostic breakdowns.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -33,6 +34,17 @@ pub enum CpuCategory {
 const NUM_CATEGORIES: usize = 5;
 
 impl CpuCategory {
+    /// Stable short label used as the trace/attribution bucket name.
+    pub fn label(self) -> &'static str {
+        match self {
+            CpuCategory::Application => "app",
+            CpuCategory::Polling => "poll",
+            CpuCategory::Protocol => "protocol",
+            CpuCategory::SignalHandler => "signal",
+            CpuCategory::NicOffload => "nic",
+        }
+    }
+
     fn index(self) -> usize {
         match self {
             CpuCategory::Application => 0,
@@ -78,6 +90,7 @@ pub struct CpuMeter {
     by_category: [SimDuration; NUM_CATEGORIES],
     window_open: bool,
     window_start: [SimDuration; NUM_CATEGORIES],
+    trace: TraceHandle,
 }
 
 impl CpuMeter {
@@ -86,10 +99,21 @@ impl CpuMeter {
         Self::default()
     }
 
+    /// Route a copy of every future charge to `trace` as
+    /// [`TraceEvent::CpuCharge`] events, so the trace-side CPU
+    /// attribution reconciles with this meter by construction.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
+    }
+
     /// Charge `d` of CPU time under `category`.
     pub fn charge(&mut self, category: CpuCategory, d: SimDuration) {
         self.total += d;
         self.by_category[category.index()] += d;
+        self.trace.emit(TraceEvent::CpuCharge {
+            bucket: category.label(),
+            nanos: d.as_nanos(),
+        });
     }
 
     /// All CPU time charged since construction (host and NIC).

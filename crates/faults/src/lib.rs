@@ -16,8 +16,13 @@
 //!
 //! With [`FaultPlan::none()`] the drivers bypass both pieces entirely, so
 //! the fault layer is cost-neutral when unused.
+//!
+//! **Tracing**: with an [`abr_trace::TraceHandle`] installed, every
+//! non-clean [`Verdict`] (and the drop it implies) and every timer-driven
+//! retransmission is emitted as a trace event, so a fault schedule can be
+//! read back off the timeline next to the packets it perturbed.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod plan;
 pub mod reliability;

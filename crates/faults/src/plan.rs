@@ -11,6 +11,7 @@
 
 use abr_des::StreamRng;
 use abr_gm::{Packet, PacketKind};
+use abr_trace::{TraceEvent, TraceHandle};
 use std::collections::HashMap;
 
 /// Link selector for a fault rule.
@@ -374,6 +375,7 @@ pub struct FaultInjector {
     attempts: HashMap<(u32, u32), u64>,
     stall_ns: HashMap<u32, u64>,
     stats: InjectStats,
+    trace: TraceHandle,
 }
 
 /// Label mixed into every per-decision stream derivation.
@@ -389,7 +391,15 @@ impl FaultInjector {
             attempts: HashMap::new(),
             stall_ns: HashMap::new(),
             stats: InjectStats::default(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Install a tracer; non-clean verdicts emit [`TraceEvent::FaultVerdict`]
+    /// (and [`TraceEvent::PacketDrop`] when the packet is dropped) stamped
+    /// with the sender's rank.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Decide the fate of one transmission. `now_ns` is virtual time when
@@ -438,10 +448,30 @@ impl FaultInjector {
             self.stats.dropped += 1;
         }
         self.stats.duplicated += u64::from(if dropped { 0 } else { extra_copies });
-        Verdict {
+        let verdict = Verdict {
             copies,
             extra_delay_ns: extra_delay_ns + self.stall_ns.get(&src).copied().unwrap_or(0),
+        };
+        if verdict != Verdict::clean() {
+            self.trace.emit_for(
+                src,
+                TraceEvent::FaultVerdict {
+                    dst,
+                    copies: verdict.copies,
+                    extra_delay_ns: verdict.extra_delay_ns,
+                },
+            );
+            if verdict.copies == 0 {
+                self.trace.emit_for(
+                    src,
+                    TraceEvent::PacketDrop {
+                        dst,
+                        kind: pkt.header.kind.label(),
+                    },
+                );
+            }
         }
+        verdict
     }
 
     /// What the injector has done so far.

@@ -24,6 +24,7 @@
 //! the engines' FIFO-transport assertion keeps holding under faults.
 
 use abr_gm::{NodeId, Packet, PacketHeader, PacketKind};
+use abr_trace::{TraceEvent, TraceHandle};
 use bytes::Bytes;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 
@@ -168,6 +169,7 @@ pub struct NodeReliability {
     tx: HashMap<u32, TxPeer>,
     rx: HashMap<u32, RxPeer>,
     stats: RelStats,
+    trace: TraceHandle,
 }
 
 impl NodeReliability {
@@ -179,7 +181,14 @@ impl NodeReliability {
             tx: HashMap::new(),
             rx: HashMap::new(),
             stats: RelStats::default(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Install a tracer; every timer-driven retransmission emits
+    /// [`TraceEvent::Retransmit`] stamped with this node's rank.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Counters so far.
@@ -292,7 +301,11 @@ impl NodeReliability {
                 out.push(RelEvent::LinkDead { peer: peer_id });
                 continue;
             }
-            let (_, pkt) = peer.unacked.front().expect("checked non-empty");
+            let (seq, pkt) = peer.unacked.front().expect("checked non-empty");
+            self.trace.emit(TraceEvent::Retransmit {
+                peer: peer_id,
+                seq: *seq,
+            });
             out.push(RelEvent::Transmit(pkt.clone()));
             self.stats.retransmissions += 1;
             if !peer.head_retransmitted {

@@ -21,8 +21,15 @@
 //!   GM-library calls the paper added, with counters,
 //! * [`live`] — a real in-process transport (mailboxes + wakeups) used by
 //!   the live threaded runtime in `abr_cluster`.
+//!
+//! **Tracing**: with an [`abr_trace::TraceHandle`] installed,
+//! [`nic::Network::delivery_time`] emits the five per-packet cost segments
+//! (source PCI, source NIC, wire, destination NIC, destination PCI) and
+//! [`signal::SignalControl::on_arrival`] emits every raise/suppress
+//! decision, so a timeline shows exactly where each microsecond of the
+//! cost model went.
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 
 pub mod cost;
 pub mod live;

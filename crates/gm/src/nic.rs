@@ -16,6 +16,7 @@
 use crate::cost::CostModel;
 use crate::packet::Packet;
 use abr_des::{SimDuration, SimTime};
+use abr_trace::{TraceEvent, TraceHandle};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 
@@ -120,6 +121,7 @@ pub struct Network {
     tx_free: HashMap<u32, SimTime>,
     packets_carried: u64,
     bytes_carried: u64,
+    trace: TraceHandle,
 }
 
 impl Network {
@@ -131,7 +133,15 @@ impl Network {
             tx_free: HashMap::new(),
             packets_carried: 0,
             bytes_carried: 0,
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Emit per-segment delivery pipeline costs (source PCI DMA, source
+    /// NIC, wire, destination NIC, destination PCI DMA) to `trace` as
+    /// [`TraceEvent::WireSegment`] events charged to the source rank.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// The injection (source-side) portion of a packet's path: source PCI
@@ -185,6 +195,43 @@ impl Network {
         self.last_delivery.insert(key, arrival);
         self.packets_carried += 1;
         self.bytes_carried += packet.wire_bytes() as u64;
+        if self.trace.is_enabled() {
+            let bytes = packet.wire_bytes() as f64;
+            let dst_id = packet.header.dst.0;
+            let seg = |us: f64| SimDuration::from_us_f64(us).as_nanos();
+            let segments = [
+                (
+                    "src-pci",
+                    seg(self.cost.pci_per_byte_us * src.pci.per_byte_scale() * bytes),
+                ),
+                (
+                    "src-nic",
+                    seg(self.cost.nic_per_packet_us * src.lanai.per_packet_scale()),
+                ),
+                (
+                    "wire",
+                    seg(self.cost.switch_us + self.cost.wire_per_byte_us * bytes),
+                ),
+                (
+                    "dst-nic",
+                    seg(self.cost.nic_per_packet_us * dst.lanai.per_packet_scale()),
+                ),
+                (
+                    "dst-pci",
+                    seg(self.cost.pci_per_byte_us * dst.pci.per_byte_scale() * bytes),
+                ),
+            ];
+            for (segment, nanos) in segments {
+                self.trace.emit_for(
+                    src_id,
+                    TraceEvent::WireSegment {
+                        dst: dst_id,
+                        segment,
+                        nanos,
+                    },
+                );
+            }
+        }
         arrival
     }
 

@@ -55,6 +55,19 @@ impl PacketKind {
         matches!(self, PacketKind::Collective)
     }
 
+    /// Stable short label used in trace events.
+    #[inline]
+    pub fn label(self) -> &'static str {
+        match self {
+            PacketKind::Eager => "eager",
+            PacketKind::RendezvousRts => "rts",
+            PacketKind::RendezvousCts => "cts",
+            PacketKind::RendezvousData => "rndv-data",
+            PacketKind::Collective => "coll",
+            PacketKind::Ack => "ack",
+        }
+    }
+
     /// True if this kind carries message payload on the wire (as opposed to
     /// a header-only control packet).
     #[inline]

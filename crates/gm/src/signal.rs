@@ -11,6 +11,7 @@
 //! (e.g. "no signals are ever generated in a run with no late messages").
 
 use crate::packet::Packet;
+use abr_trace::{TraceEvent, TraceHandle};
 
 /// Why a packet did not produce a signal.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -34,6 +35,7 @@ pub struct SignalControl {
     suppressed_kind: u64,
     suppressed_busy: u64,
     toggles: u64,
+    trace: TraceHandle,
 }
 
 impl SignalControl {
@@ -41,6 +43,12 @@ impl SignalControl {
     /// initialize MPICH with signals in a disabled state").
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Emit every signal decision to `trace` as
+    /// [`TraceEvent::Signal`] events.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.trace = trace;
     }
 
     /// Enable NIC signal generation. Idempotent; returns true if the state
@@ -78,17 +86,27 @@ impl SignalControl {
     ) -> Result<(), SignalSuppression> {
         if !packet.generates_signal() {
             self.suppressed_kind += 1;
+            self.trace.emit(TraceEvent::Signal {
+                outcome: "suppressed-kind",
+            });
             return Err(SignalSuppression::WrongKind);
         }
         if !self.enabled {
             self.suppressed_disabled += 1;
+            self.trace.emit(TraceEvent::Signal {
+                outcome: "suppressed-disabled",
+            });
             return Err(SignalSuppression::Disabled);
         }
         if progress_underway {
             self.suppressed_busy += 1;
+            self.trace.emit(TraceEvent::Signal {
+                outcome: "suppressed-progress",
+            });
             return Err(SignalSuppression::ProgressUnderway);
         }
         self.raised += 1;
+        self.trace.emit(TraceEvent::Signal { outcome: "raised" });
         Ok(())
     }
 

@@ -31,6 +31,7 @@ use abr_des::meter::CpuCategory;
 use abr_gm::cost::CostModel;
 use abr_gm::memory::MemoryRegistry;
 use abr_gm::packet::{NodeId, Packet, PacketHeader, PacketKind};
+use abr_trace::{TraceEvent, TraceHandle};
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
 
@@ -126,6 +127,7 @@ pub struct Engine {
     /// Highest reliability sequence seen per source; duplicates at or below
     /// it are dropped before matching (idempotent duplicate suppression).
     last_rel_seq: HashMap<Rank, u64>,
+    trace: TraceHandle,
 }
 
 /// Result of stepping one collective.
@@ -179,7 +181,23 @@ impl Engine {
             derived_comms: 0,
             last_wire_seq: HashMap::new(),
             last_rel_seq: HashMap::new(),
+            trace: TraceHandle::default(),
         }
+    }
+
+    /// Emit engine-level trace events (packet sends/receives, collective
+    /// phase transitions, match-queue outcomes) through `trace`. Also
+    /// installs the handle into the match queues.
+    pub fn set_tracer(&mut self, trace: TraceHandle) {
+        self.posted.set_tracer(trace.clone());
+        self.unexpected.set_tracer(trace.clone());
+        self.trace = trace;
+    }
+
+    /// The engine's trace handle (the application-bypass wrapper emits
+    /// through the same handle).
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.trace
     }
 
     /// This engine's rank.
@@ -245,6 +263,13 @@ impl Engine {
     /// Queue an action for the driver (the application-bypass wrapper uses
     /// this for signal toggles).
     pub fn push_action(&mut self, action: Action) {
+        if let Action::Send(pkt) = &action {
+            self.trace.emit(TraceEvent::PacketSend {
+                dst: pkt.header.dst.0,
+                kind: pkt.header.kind.label(),
+                bytes: pkt.header.msg_len,
+            });
+        }
         self.actions.push(action);
     }
 
@@ -417,7 +442,7 @@ impl Engine {
                 wire_seq: 0,
                 rel_seq: 0,
             };
-            self.actions.push(Action::Send(Packet::new(header, data)));
+            self.push_action(Action::Send(Packet::new(header, data)));
             self.stats.eager_sent += 1;
             let mut req = Request::new(RequestBody::SendEager);
             req.outcome = Some(Outcome::Done);
@@ -1022,6 +1047,9 @@ impl Engine {
 
     fn post_coll(&mut self, state: CollState) -> ReqId {
         let id = self.fresh_req();
+        self.trace.emit(TraceEvent::PhaseEnter {
+            phase: state.name(),
+        });
         self.requests
             .insert(id.raw(), Request::new(RequestBody::Coll(state)));
         self.active_colls.push(id);
@@ -1083,6 +1111,11 @@ impl Engine {
             *last = pkt.header.rel_seq;
         }
         self.stats.packets_processed += 1;
+        self.trace.emit(TraceEvent::PacketRecv {
+            src,
+            kind: pkt.header.kind.label(),
+            bytes: pkt.header.msg_len,
+        });
         // GM delivers in order per (src, dst); assert it.
         if let Some(prev) = self.last_wire_seq.insert(src, pkt.header.wire_seq) {
             debug_assert!(
@@ -1260,7 +1293,7 @@ impl Engine {
         };
         let region = rs.region;
         self.charge(CpuCategory::Protocol, self.config.cost.rndv_control_host());
-        self.actions.push(Action::Send(Packet::new(header, data)));
+        self.push_action(Action::Send(Packet::new(header, data)));
         let unpin = self.config.cost.unpin();
         self.charge(CpuCategory::Protocol, unpin);
         self.memory
@@ -1363,6 +1396,11 @@ impl Engine {
                     req.outcome = Some(outcome);
                     self.stats.colls_completed += 1;
                     self.active_colls.retain(|&c| c != id);
+                    if let RequestBody::Coll(state) = &req.body {
+                        self.trace.emit(TraceEvent::PhaseExit {
+                            phase: state.name(),
+                        });
+                    }
                 }
             }
         }
@@ -1721,6 +1759,11 @@ pub trait MessageEngine {
     fn world(&self) -> Communicator;
     /// Deposit an arriving packet (no CPU charge).
     fn deliver(&mut self, pkt: Packet);
+    /// Install a trace handle; engine-level events (packet sends and
+    /// receives, collective phase transitions, match outcomes) flow
+    /// through it. The default is a no-op so minimal engines need not
+    /// care.
+    fn set_tracer(&mut self, _trace: TraceHandle) {}
     /// One progress-engine pass (charges poll cost).
     fn progress(&mut self) -> bool;
     /// The NIC raised a signal: run asynchronous processing. The baseline
@@ -1833,6 +1876,9 @@ impl MessageEngine for Engine {
     }
     fn deliver(&mut self, pkt: Packet) {
         Engine::deliver(self, pkt)
+    }
+    fn set_tracer(&mut self, trace: TraceHandle) {
+        Engine::set_tracer(self, trace)
     }
     fn progress(&mut self) -> bool {
         Engine::progress(self)

@@ -15,7 +15,7 @@
 //! Both queues keep their entries in a sequence-ordered store and index them
 //! with per-selector FIFO buckets, so the common exact-match probe on a deep
 //! queue is a few (cheaply) hashed lookups instead of a linear scan over
-//! every parked entry. Queues at or below [`SMALL_SCAN`] entries — the
+//! every parked entry. Queues at or below `SMALL_SCAN` entries — the
 //! steady state for the engine — skip the buckets entirely and scan the
 //! store directly, which picks the same entry for a fraction of the cost:
 //!
@@ -295,6 +295,7 @@ pub struct PostedQueue {
     indexed: bool,
     /// Removals since the last bucket prune; triggers housekeeping.
     removals: usize,
+    trace: abr_trace::TraceHandle,
 }
 
 fn posted_key(recv: &PostedRecv) -> PostedKey {
@@ -325,10 +326,24 @@ impl PostedQueue {
         }
     }
 
+    /// Emit a [`abr_trace::TraceEvent::MatchOutcome`] for every probe.
+    pub fn set_tracer(&mut self, trace: abr_trace::TraceHandle) {
+        self.trace = trace;
+    }
+
     /// Remove and return the first posted receive matching `key`, in MPI
     /// posting order: the probe checks the four selector buckets the
     /// message could match and takes the earliest-posted candidate.
     pub fn take_match(&mut self, key: &MsgKey) -> Option<PostedRecv> {
+        let hit = self.take_match_inner(key);
+        self.trace.emit(abr_trace::TraceEvent::MatchOutcome {
+            queue: "posted",
+            outcome: if hit.is_some() { "hit" } else { "miss" },
+        });
+        hit
+    }
+
+    fn take_match_inner(&mut self, key: &MsgKey) -> Option<PostedRecv> {
         // Short queue: a scan in posting order picks the same entry the
         // bucket probe would, without touching the hash maps.
         if self.store.len() <= SMALL_SCAN {
@@ -461,6 +476,7 @@ pub struct UnexpectedQueue {
     indexed: bool,
     removals: usize,
     high_water: usize,
+    trace: abr_trace::TraceHandle,
 }
 
 impl UnexpectedQueue {
@@ -481,9 +497,28 @@ impl UnexpectedQueue {
         self.high_water = self.high_water.max(self.store.len());
     }
 
+    /// Emit a [`abr_trace::TraceEvent::MatchOutcome`] for every probe.
+    pub fn set_tracer(&mut self, trace: abr_trace::TraceHandle) {
+        self.trace = trace;
+    }
+
     /// Remove and return the first parked message a new receive
     /// (src/tag/context) matches, preserving arrival order.
     pub fn take_match(
+        &mut self,
+        src: Option<Rank>,
+        tag: TagSel,
+        context: u32,
+    ) -> Option<UnexpectedMsg> {
+        let hit = self.take_match_inner(src, tag, context);
+        self.trace.emit(abr_trace::TraceEvent::MatchOutcome {
+            queue: "unexpected",
+            outcome: if hit.is_some() { "hit" } else { "miss" },
+        });
+        hit
+    }
+
+    fn take_match_inner(
         &mut self,
         src: Option<Rank>,
         tag: TagSel,

@@ -18,9 +18,19 @@ cargo build --release --workspace
 echo "==> cargo test"
 cargo test -q --workspace
 
+echo "==> cargo doc -D warnings"
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps -q
+
+echo "==> cargo test --doc"
+cargo test -q --workspace --doc
+
 echo "==> fault smoke sweep (loss figure under seeded 1% drop+dup)"
 ABR_ITERS=20 ABR_JOBS=2 ABR_SWEEP_JSON=BENCH_sweep.json \
   ABR_FAULTS="seed=7; drop p=0.01; dup p=0.01" \
   cargo run -q --release -p abr_bench --bin loss_figure
+
+echo "==> traced figure run (Chrome JSON + CPU attribution, reconciled)"
+ABR_ITERS=20 ABR_TRACE="chrome=TRACE_events.json,report=TRACE_cpu.txt" \
+  cargo run -q --release -p abr_bench --bin trace_figure
 
 echo "CI gate passed."
