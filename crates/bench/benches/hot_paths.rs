@@ -11,6 +11,7 @@ use abr_mpr::engine::{Action, EngineConfig};
 use abr_mpr::matchq::{MsgKey, PostedQueue, PostedRecv, UnexpectedQueue};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::testutil::{engines, Loopback};
+use abr_mpr::topology::{ScheduleCache, TopologyKind};
 use abr_mpr::tree;
 use abr_mpr::types::{f64s_to_bytes, Datatype, TagSel};
 use abr_mpr::ReqId;
@@ -23,6 +24,22 @@ fn bench_tree(c: &mut Criterion) {
             for root in 0..32u32 {
                 for rank in 0..32u32 {
                     acc += tree::children(black_box(rank), black_box(root), 32).len();
+                }
+            }
+            acc
+        })
+    });
+    // Same walk through a cached schedule: children_of returns a slice
+    // into the CSR child array, so the inner loop is allocation-free —
+    // compare against tree/children_32x32, which builds a Vec per call.
+    c.bench_function("tree/sched_children_32x32", |b| {
+        let mut cache = ScheduleCache::new(TopologyKind::Binomial);
+        let scheds: Vec<_> = (0..32u32).map(|root| cache.get(root, 32)).collect();
+        b.iter(|| {
+            let mut acc = 0usize;
+            for s in &scheds {
+                for rank in 0..32u32 {
+                    acc += s.children_of(black_box(rank)).len();
                 }
             }
             acc

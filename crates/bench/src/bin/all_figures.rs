@@ -10,7 +10,7 @@ type Figure = (&'static str, fn(u64) -> Vec<Table>);
 
 fn main() {
     let iters = abr_bench::iters();
-    let figures: [Figure; 13] = [
+    let figures: [Figure; 14] = [
         ("fig6", abr_bench::figures::fig6),
         ("fig7", abr_bench::figures::fig7),
         ("fig8", abr_bench::figures::fig8),
@@ -27,6 +27,7 @@ fn main() {
         ("ablation_scale", abr_bench::figures::ablation_scale),
         ("ablation_app", abr_bench::figures::ablation_app),
         ("fig_loss", abr_bench::figures::fig_loss),
+        ("fig_topology", abr_bench::figures::fig_topology),
     ];
     let mut records = Vec::new();
     for (name, f) in figures {

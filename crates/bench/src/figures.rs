@@ -14,6 +14,7 @@ use abr_cluster::sweep::{RunOut, RunSpec, Sweep};
 use abr_cluster::{FaultPlan, RelStats};
 use abr_core::DelayPolicy;
 use abr_gm::cost::CostModel;
+use abr_mpr::topology::TopologyKind;
 
 const ELEMS: [usize; 3] = [4, 32, 128];
 const NODE_SWEEP: [u32; 5] = [2, 4, 8, 16, 32];
@@ -616,6 +617,66 @@ pub fn fig_loss(iters: u64) -> Vec<Table> {
         ]);
     }
     vec![t]
+}
+
+/// Beyond the paper: CPU-time factor of improvement per reduction
+/// topology as skew rises (32 nodes, 32 elems). The schedule layer makes
+/// the tree family a config axis, so the bypass advantage can be compared
+/// across binomial, 4-nomial, chain and flat trees: chain trees make
+/// every non-leaf rank an internal node (bypass helps most), flat trees
+/// have no internal nodes at all (bypass has nothing to skip).
+pub fn fig_topology(iters: u64) -> Vec<Table> {
+    const TOPOS: [TopologyKind; 4] = [
+        TopologyKind::Binomial,
+        TopologyKind::Knomial(4),
+        TopologyKind::Chain,
+        TopologyKind::Flat,
+    ];
+    let skews: Vec<u64> = (0..=1000).step_by(250).collect();
+    let mut specs = Vec::new();
+    for &skew in &skews {
+        for mode in [Mode::Baseline, ab_mode()] {
+            for &topo in &TOPOS {
+                specs.push(cpu_spec(
+                    ClusterSpec::heterogeneous_32().with_topology(topo),
+                    32,
+                    skew,
+                    iters,
+                    mode,
+                ));
+            }
+        }
+    }
+    let out = sweep().run_points(&specs);
+    let cols: Vec<String> = std::iter::once("skew_us".to_string())
+        .chain(TOPOS.iter().map(|t| format!("nab-{t}")))
+        .chain(TOPOS.iter().map(|t| format!("ab-{t}")))
+        .collect();
+    let mut t_util = Table::new(
+        "Topology sweep: Average CPU utilization vs max skew per tree family (32 nodes, 32 elems, us)",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let foi_cols: Vec<String> = std::iter::once("skew_us".to_string())
+        .chain(TOPOS.iter().map(|t| format!("foi-{t}")))
+        .collect();
+    let mut t_foi = Table::new(
+        "Topology sweep: Factor of improvement vs max skew per tree family (32 nodes, 32 elems)",
+        &foi_cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let w = TOPOS.len();
+    for (row, &skew) in skews.iter().enumerate() {
+        let cells = &out[row * 2 * w..(row + 1) * 2 * w];
+        let nab: Vec<f64> = cells[..w].iter().map(mean_cpu).collect();
+        let ab: Vec<f64> = cells[w..].iter().map(mean_cpu).collect();
+        let mut util_row = vec![skew.to_string()];
+        util_row.extend(nab.iter().map(|&v| f2(v)));
+        util_row.extend(ab.iter().map(|&v| f2(v)));
+        t_util.row(util_row);
+        let mut foi_row = vec![skew.to_string()];
+        foi_row.extend((0..w).map(|i| ratio(nab[i], ab[i])));
+        t_foi.row(foi_row);
+    }
+    vec![t_util, t_foi]
 }
 
 /// One sweep point per mode under an explicit [`FaultPlan`] (the

@@ -183,6 +183,7 @@ impl<E: MessageEngine> DesDriver<E> {
             eager_limit: spec.eager_limit,
             memory_budget: None,
             allreduce_rs_threshold: 2048,
+            topology: spec.topology,
         };
         let nodes = programs
             .into_iter()

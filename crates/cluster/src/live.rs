@@ -708,6 +708,7 @@ pub fn run_live_traced<R: Send>(
                 eager_limit: spec.eager_limit,
                 memory_budget: None,
                 allreduce_rs_threshold: 2048,
+                topology: spec.topology,
             };
             let mut state = RankState {
                 eng: AbEngine::new(r, n, config, ab.clone()),

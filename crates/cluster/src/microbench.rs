@@ -24,7 +24,6 @@ use abr_des::{SimDuration, SimTime};
 use abr_faults::{FaultPlan, RelConfig, RelStats};
 use abr_mpr::engine::{Engine, EngineConfig};
 use abr_mpr::op::ReduceOp;
-use abr_mpr::tree;
 use abr_mpr::types::{f64s_to_bytes, Datatype, Rank};
 use abr_trace::Tracer;
 use bytes::Bytes;
@@ -993,7 +992,9 @@ impl Program for LatencyProgram {
 
 fn latency_programs(cfg: &LatencyConfig) -> Vec<Box<dyn Program>> {
     let n = cfg.cluster.len() as u32;
-    let last = tree::last_node(cfg.root, n);
+    // Topology-aware: the deepest rank of the configured tree, not the
+    // binomial popcount rule.
+    let last = cfg.cluster.topology.schedule(cfg.root, n).last_node();
     (0..n)
         .map(|rank| {
             let role = if rank == cfg.root && n > 1 {

@@ -9,6 +9,7 @@
 
 use abr_gm::cost::CostModel;
 use abr_gm::nic::NodeHw;
+use abr_mpr::topology::TopologyKind;
 
 /// A cluster: per-node hardware plus the shared cost model.
 #[derive(Debug, Clone)]
@@ -19,6 +20,10 @@ pub struct ClusterSpec {
     pub cost: CostModel,
     /// Eager/rendezvous threshold in payload bytes.
     pub eager_limit: usize,
+    /// Tree family for reduction collectives. Constructors read the
+    /// process-wide `ABR_TOPO` knob (binomial when unset); override per
+    /// spec with [`ClusterSpec::with_topology`].
+    pub topology: TopologyKind,
 }
 
 impl ClusterSpec {
@@ -49,6 +54,7 @@ impl ClusterSpec {
             nodes,
             cost: CostModel::default(),
             eager_limit: 16 * 1024,
+            topology: TopologyKind::from_env_or_default(),
         }
     }
 
@@ -58,6 +64,7 @@ impl ClusterSpec {
             nodes: (0..n).map(|_| NodeHw::p3_700()).collect(),
             cost: CostModel::default(),
             eager_limit: 16 * 1024,
+            topology: TopologyKind::from_env_or_default(),
         }
     }
 
@@ -67,6 +74,7 @@ impl ClusterSpec {
             nodes: (0..n).map(|_| NodeHw::p3_1000()).collect(),
             cost: CostModel::default(),
             eager_limit: 16 * 1024,
+            topology: TopologyKind::from_env_or_default(),
         }
     }
 
@@ -83,6 +91,12 @@ impl ClusterSpec {
     /// Replace the cost model (sensitivity ablations).
     pub fn with_cost(mut self, cost: CostModel) -> Self {
         self.cost = cost;
+        self
+    }
+
+    /// Replace the reduction topology (the skew-vs-topology figure).
+    pub fn with_topology(mut self, topology: TopologyKind) -> Self {
+        self.topology = topology;
         self
     }
 }

@@ -11,14 +11,15 @@ use abr_core::{AbConfig, AbEngine, DelayPolicy};
 use abr_faults::{FaultKind, FaultRule, KindSel, LinkSel};
 use abr_mpr::engine::EngineConfig;
 use abr_mpr::op::ReduceOp;
+use abr_mpr::topology::TopologyKind;
 use abr_mpr::types::{f64s_to_bytes, Datatype};
 use abr_trace::{cpu_attribution, RingRecorder, TraceClock, Tracer};
 use std::sync::Arc;
 
 /// One sum-reduction to root 0 under the DES with a tracer installed;
 /// returns the trace's ordered send/recv skeleton.
-fn des_skeleton(n: u32, plan: &FaultPlan) -> Vec<String> {
-    let spec = ClusterSpec::homogeneous_1000(n);
+fn des_skeleton(n: u32, topo: TopologyKind, plan: &FaultPlan) -> Vec<String> {
+    let spec = ClusterSpec::homogeneous_1000(n).with_topology(topo);
     let programs: Vec<Box<dyn Program>> = (0..n)
         .map(|rank| {
             let mut done = false;
@@ -49,10 +50,10 @@ fn des_skeleton(n: u32, plan: &FaultPlan) -> Vec<String> {
 }
 
 /// The same reduction over real threads, wall-clock stamped.
-fn live_skeleton(n: u32, plan: &FaultPlan) -> Vec<String> {
+fn live_skeleton(n: u32, topo: TopologyKind, plan: &FaultPlan) -> Vec<String> {
     let rec = RingRecorder::new(n, 1 << 14, TraceClock::Wall, plan.seed, 0);
     abr_cluster::live::run_live_traced(
-        &ClusterSpec::homogeneous_1000(n),
+        &ClusterSpec::homogeneous_1000(n).with_topology(topo),
         AbConfig::default(),
         plan,
         RelConfig::live_default(),
@@ -69,8 +70,8 @@ fn live_skeleton(n: u32, plan: &FaultPlan) -> Vec<String> {
 fn des_and_live_emit_identical_skeleton_clean() {
     let n = 8;
     let plan = FaultPlan::none();
-    let des = des_skeleton(n, &plan);
-    let live = live_skeleton(n, &plan);
+    let des = des_skeleton(n, TopologyKind::Binomial, &plan);
+    let live = live_skeleton(n, TopologyKind::Binomial, &plan);
     assert_eq!(des, live, "clean-wire skeletons diverge");
     // Sanity: the skeleton is non-trivial — every rank but the root sends.
     assert_eq!(des.len(), n as usize);
@@ -105,15 +106,60 @@ fn des_and_live_emit_identical_skeleton_under_faults() {
             },
         ],
     };
-    let des = des_skeleton(n, &plan);
-    let live = live_skeleton(n, &plan);
+    let des = des_skeleton(n, TopologyKind::Binomial, &plan);
+    let live = live_skeleton(n, TopologyKind::Binomial, &plan);
     assert_eq!(des, live, "faulted skeletons diverge");
     // The duplicate is suppressed by the reliability layer before the
     // engine, so it must NOT appear as a second recv from rank 1.
     assert_eq!(
         des,
-        des_skeleton(n, &FaultPlan::none()),
+        des_skeleton(n, TopologyKind::Binomial, &FaultPlan::none()),
         "lossless faults must not change the skeleton"
+    );
+}
+
+#[test]
+fn des_and_live_emit_identical_skeleton_chain_topology_under_faults() {
+    let n = 8;
+    // On a chain rooted at 0, rank r sends to r-1, so the only link into
+    // the root is 1 -> 0; rank 2's traffic rides 2 -> 1. Duplicate the
+    // first packet on 1 -> 0 and delay the first on 2 -> 1: deterministic
+    // and lossless, so both drivers must replay the same skeleton.
+    let plan = FaultPlan {
+        seed: 0xD1CE,
+        rules: vec![
+            FaultRule {
+                link: LinkSel::Between(1, 0),
+                kinds: KindSel::Any,
+                window: None,
+                attempt: Some(0),
+                fault: FaultKind::Duplicate { p: 1.0 },
+            },
+            FaultRule {
+                link: LinkSel::Between(2, 1),
+                kinds: KindSel::Any,
+                window: None,
+                attempt: Some(0),
+                fault: FaultKind::Delay {
+                    p: 1.0,
+                    extra_ns: 200_000,
+                },
+            },
+        ],
+    };
+    let des = des_skeleton(n, TopologyKind::Chain, &plan);
+    let live = live_skeleton(n, TopologyKind::Chain, &plan);
+    assert_eq!(des, live, "faulted chain skeletons diverge");
+    assert_eq!(
+        des,
+        des_skeleton(n, TopologyKind::Chain, &FaultPlan::none()),
+        "lossless faults must not change the chain skeleton"
+    );
+    // Sanity: the topology knob actually changed the traffic pattern.
+    assert_ne!(
+        des,
+        des_skeleton(n, TopologyKind::Binomial, &FaultPlan::none()),
+        "chain and binomial skeletons should differ"
     );
 }
 

@@ -9,8 +9,10 @@
 //! the parent's data arrives (via signal), the node forwards to its
 //! children and completes asynchronously.
 
+use abr_mpr::topology::TopoSchedule;
 use abr_mpr::types::Rank;
 use abr_mpr::ReqId;
+use std::sync::Arc;
 
 /// A pending application-bypass broadcast at a non-root rank.
 #[derive(Debug)]
@@ -25,8 +27,9 @@ pub struct BcastWait {
     pub parent: Rank,
     /// Payload length in bytes.
     pub len: usize,
-    /// Children to forward to once the data lands (largest subtree first).
-    pub children: Vec<Rank>,
+    /// The shared schedule; the forward loop walks this rank's children in
+    /// reverse (largest subtree first) without any per-wait allocation.
+    pub sched: Arc<TopoSchedule>,
     /// The split-phase request completed with the data.
     pub call_req: ReqId,
 }
@@ -97,13 +100,14 @@ mod tests {
     use super::*;
 
     fn wait(seq: u64, parent: Rank) -> BcastWait {
+        use abr_mpr::topology::TopologyKind;
         BcastWait {
             context: 1,
             coll_seq: seq,
             root: 0,
             parent,
             len: 8,
-            children: vec![],
+            sched: Arc::new(TopologyKind::Binomial.schedule(0, 4)),
             call_req: ReqId::from_raw(seq),
         }
     }

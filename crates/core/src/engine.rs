@@ -35,7 +35,6 @@ use abr_mpr::charge::Charges;
 use abr_mpr::engine::{Action, Engine, EngineConfig, MessageEngine};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::request::Outcome;
-use abr_mpr::tree;
 use abr_mpr::types::{coll_code, coll_tag, coll_tag_code, Datatype, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
 use abr_trace::{TraceEvent, TraceHandle};
@@ -248,7 +247,8 @@ impl AbEngine {
                 .inner
                 .ireduce_with_seq(comm, root, op, dtype, data, seq);
         }
-        if tree::is_leaf(rank, root, comm.size) || comm.size == 1 {
+        let sched = self.inner.schedule(root, comm.size);
+        if sched.is_leaf(rank) || comm.size == 1 {
             // A leaf's only action is the send; the stock path already
             // completes it without blocking. Size-1: trivially complete.
             return self
@@ -256,7 +256,7 @@ impl AbEngine {
                 .ireduce_with_seq(comm, root, op, dtype, data, seq);
         }
         self.stats.split_phase_started += 1;
-        let parent = tree::parent(rank, root, comm.size);
+        let parent = sched.parent_of(rank);
         self.ab_reduce_start(comm, root, op, dtype, data, seq, parent, true)
     }
 
@@ -293,15 +293,16 @@ impl AbEngine {
             return self.inner.ibcast_with_seq(comm, root, data, len, seq);
         }
         self.stats.bcast_splits += 1;
-        let mut kids = tree::children(rank, root, comm.size);
-        kids.reverse(); // largest subtree first, like the blocking path
+        let sched = self.inner.schedule(root, comm.size);
         if rank == root {
             let payload = data.expect("the root supplies bcast data");
             debug_assert_eq!(payload.len(), len);
             let req = self.inner.alloc_shell_req();
-            for child in &kids {
+            // Largest subtree first, like the blocking path.
+            for i in (0..sched.children_of(rank).len()).rev() {
+                let child = sched.children_of(rank)[i];
                 let send = self.inner.isend_with_kind(
-                    *child,
+                    child,
                     coll_tag(coll_code::BCAST, seq, 0),
                     comm.coll_context,
                     payload.clone(),
@@ -317,7 +318,7 @@ impl AbEngine {
             return req;
         }
         let req = self.inner.alloc_shell_req();
-        let parent = tree::parent(rank, root, comm.size).expect("non-root has a parent");
+        let parent = sched.parent_of(rank).expect("non-root has a parent");
         // The parent's data may already be parked (early arrival).
         if let Some(msg) = self.ab_unexpected.take(
             parent,
@@ -331,7 +332,7 @@ impl AbEngine {
                 root,
                 parent,
                 len,
-                children: kids,
+                sched,
                 call_req: req,
             };
             self.deliver_bcast(w, msg.data, false);
@@ -343,7 +344,7 @@ impl AbEngine {
             root,
             parent,
             len,
-            children: kids,
+            sched,
             call_req: req,
         });
         // Split-phase: the application will not poll; arm signals (broadcast
@@ -458,7 +459,8 @@ impl AbEngine {
         // progress explicitly inside the call.
         self.set_signals(false);
         let req = self.inner.alloc_shell_req();
-        let kids = tree::children(rank, root, comm.size);
+        let sched = self.inner.schedule(root, comm.size);
+        let kids = sched.children_of(rank);
         let desc_cost = self.inner.cost().descriptor();
         self.inner.charge(CpuCategory::Protocol, desc_cost);
         let mut desc = ReduceDescriptor {
@@ -469,12 +471,12 @@ impl AbEngine {
             dtype,
             acc: data.to_vec(),
             parent,
-            pending_children: kids.clone(),
+            pending_children: kids.to_vec(),
             call_req: Some(req),
         };
         // Fold in children already parked on the AB unexpected queue —
         // processed directly from the queue, no second copy (§V-B).
-        for child in &kids {
+        for child in kids {
             if let Some(msg) =
                 self.ab_unexpected
                     .take(*child, coll_tag(coll_code::REDUCE, seq, 0), ctx)
@@ -816,9 +818,12 @@ impl AbEngine {
         });
         let desc_cost = self.inner.cost().descriptor();
         self.inner.charge(CpuCategory::Protocol, desc_cost);
-        for child in &w.children {
+        // Largest subtree first, like the blocking path.
+        let rank = self.inner.rank();
+        for i in (0..w.sched.children_of(rank).len()).rev() {
+            let child = w.sched.children_of(rank)[i];
             let send = self.inner.isend_with_kind(
-                *child,
+                child,
                 coll_tag(coll_code::BCAST, w.coll_seq, 0),
                 w.context,
                 data.clone(),
@@ -976,7 +981,7 @@ impl MessageEngine for AbEngine {
                 .inner
                 .ireduce_with_seq(comm, root, op, dtype, data, seq);
         }
-        if tree::is_leaf(rank, root, comm.size) {
+        if self.inner.schedule(root, comm.size).is_leaf(rank) {
             self.stats.fallback_leaf += 1;
             return self
                 .inner
@@ -989,7 +994,7 @@ impl MessageEngine for AbEngine {
                 .ireduce_with_seq(comm, root, op, dtype, data, seq);
         }
         self.stats.ab_reductions += 1;
-        let parent = tree::parent(rank, root, comm.size);
+        let parent = self.inner.schedule(root, comm.size).parent_of(rank);
         debug_assert!(parent.is_some(), "internal node always has a parent");
         self.ab_reduce_start(comm, root, op, dtype, data, seq, parent, false)
     }

@@ -4,20 +4,29 @@
 //! the engine's queues); this module defines the per-operation state that
 //! persists across progress calls.
 //!
-//! [`ReduceState`] is the **default blocking binomial reduction** — the
-//! `nab` (non-application-bypass) baseline the paper compares against. Its
+//! [`ReduceState`] is the **default blocking tree reduction** — the `nab`
+//! (non-application-bypass) baseline the paper compares against. Its
 //! defining property is visible right in the state: `child_recv` holds *one*
-//! posted receive at a time, in mask order, and the caller polls until the
-//! whole subtree has reported. An early message from a later child waits in
-//! the unexpected queue (two copies); a late message from the current child
-//! stalls the parent completely.
+//! posted receive at a time, in schedule order, and the caller polls until
+//! the whole subtree has reported. An early message from a later child waits
+//! in the unexpected queue (two copies); a late message from the current
+//! child stalls the parent completely.
+//!
+//! Since the schedule refactor, reduce/bcast instances carry an
+//! [`Arc<TopoSchedule>`] instead of re-deriving tree structure from mask
+//! arithmetic: the engine steps against the schedule's ordered child list
+//! and parent pointer, so the same state machine runs over any
+//! [`crate::topology::TopologyKind`].
 
 use crate::op::ReduceOp;
 use crate::request::ReqId;
+use crate::topology::TopoSchedule;
 use crate::types::{Datatype, Rank};
 use abr_gm::packet::PacketKind;
+use std::sync::Arc;
 
-/// State of a blocking binomial-tree reduction (MPICH `intra_Reduce`).
+/// State of a blocking tree reduction (MPICH `intra_Reduce` when the
+/// schedule is binomial).
 #[derive(Debug)]
 pub struct ReduceState {
     /// Collective context id.
@@ -36,11 +45,14 @@ pub struct ReduceState {
     pub coll_seq: u64,
     /// Running partial result, seeded with this rank's contribution.
     pub acc: Vec<u8>,
-    /// Current mask in the MPICH mask loop.
-    pub mask: u32,
+    /// The precomputed schedule this instance steps against (shared with
+    /// the engine's cache — no per-instance allocation).
+    pub sched: Arc<TopoSchedule>,
+    /// Index into this rank's schedule children: the next child to wait on.
+    pub next_child: usize,
     /// The single outstanding child receive, if any.
     pub child_recv: Option<ReqId>,
-    /// The send-to-parent request once the mask loop reaches it.
+    /// The send-to-parent request once every child has been folded in.
     pub send_req: Option<ReqId>,
     /// Packet kind for reduction messages: `Eager` for the stock baseline,
     /// `Collective` when running under the application-bypass layer (so the
@@ -48,7 +60,7 @@ pub struct ReduceState {
     pub packet_kind: PacketKind,
 }
 
-/// State of a binomial-tree broadcast.
+/// State of a tree broadcast.
 #[derive(Debug)]
 pub struct BcastState {
     /// Collective context id.
@@ -67,9 +79,10 @@ pub struct BcastState {
     pub data: Option<bytes::Bytes>,
     /// Outstanding receive from the parent.
     pub recv_req: Option<ReqId>,
-    /// Children still to be sent to (largest subtree first), and any
-    /// outstanding send requests not yet complete.
-    pub sends_remaining: Vec<Rank>,
+    /// The precomputed schedule this instance steps against.
+    pub sched: Arc<TopoSchedule>,
+    /// Index into this rank's schedule children: the next child to send to.
+    pub next_send: usize,
     /// In-flight send requests (rendezvous sends complete asynchronously).
     pub send_reqs: Vec<ReqId>,
 }
@@ -225,9 +238,9 @@ pub struct AllgatherState {
 /// Any collective in flight.
 #[derive(Debug)]
 pub enum CollState {
-    /// Blocking binomial reduce (the `nab` baseline).
+    /// Blocking tree reduce (the `nab` baseline).
     Reduce(ReduceState),
-    /// Binomial broadcast.
+    /// Tree broadcast.
     Bcast(BcastState),
     /// Dissemination barrier.
     Barrier(BarrierState),

@@ -25,7 +25,7 @@ pub use crate::matchq::UnexpectedMsg;
 use crate::matchq::{MsgKey, PostedQueue, PostedRecv, UnexpectedQueue};
 use crate::op::ReduceOp;
 use crate::request::{Outcome, RecvState, ReqId, Request, RequestBody, RndvSend};
-use crate::tree::{abs_rank, children, rel_rank};
+use crate::topology::{ScheduleCache, TopoSchedule, TopologyKind};
 use crate::types::{coll_code, coll_tag, Datatype, MprError, Rank, TagSel};
 use abr_des::meter::CpuCategory;
 use abr_gm::cost::CostModel;
@@ -60,6 +60,9 @@ pub struct EngineConfig {
     /// (reduce-scatter + allgather) allreduce on power-of-two
     /// communicators — the bandwidth-optimal large-message algorithm.
     pub allreduce_rs_threshold: usize,
+    /// Tree family for reduce/bcast/allreduce schedules. The binomial
+    /// default reproduces MPICH (and the pre-schedule engine) exactly.
+    pub topology: TopologyKind,
 }
 
 impl Default for EngineConfig {
@@ -69,6 +72,7 @@ impl Default for EngineConfig {
             eager_limit: 16 * 1024,
             memory_budget: None,
             allreduce_rs_threshold: 2048,
+            topology: TopologyKind::Binomial,
         }
     }
 }
@@ -127,6 +131,9 @@ pub struct Engine {
     /// Highest reliability sequence seen per source; duplicates at or below
     /// it are dropped before matching (idempotent duplicate suppression).
     last_rel_seq: HashMap<Rank, u64>,
+    /// Schedules cached per `(root, size)`; collective instances share
+    /// them via `Arc` so tree structure is computed once per shape.
+    scheds: ScheduleCache,
     trace: TraceHandle,
 }
 
@@ -159,6 +166,7 @@ impl Engine {
             Some(b) => MemoryRegistry::with_budget(b),
             None => MemoryRegistry::unbounded(),
         };
+        let scheds = ScheduleCache::new(config.topology);
         Engine {
             rank,
             size,
@@ -181,8 +189,22 @@ impl Engine {
             derived_comms: 0,
             last_wire_seq: HashMap::new(),
             last_rel_seq: HashMap::new(),
+            scheds,
             trace: TraceHandle::default(),
         }
+    }
+
+    /// The cached schedule for a collective rooted at `root` over `size`
+    /// ranks, built on first use from the configured topology. The
+    /// application-bypass layer uses the same cache, so descriptors and
+    /// blocking collectives always agree on tree shape.
+    pub fn schedule(&mut self, root: Rank, size: u32) -> std::sync::Arc<TopoSchedule> {
+        self.scheds.get(root, size)
+    }
+
+    /// The configured tree family.
+    pub fn topology(&self) -> TopologyKind {
+        self.scheds.kind()
     }
 
     /// Emit engine-level trace events (packet sends/receives, collective
@@ -601,7 +623,8 @@ impl Engine {
             dtype,
             coll_seq,
             acc: data.to_vec(),
-            mask: 1,
+            sched: self.schedule(root, comm.size),
+            next_child: 0,
             child_recv: None,
             send_req: None,
             packet_kind: self.reduce_packet_kind,
@@ -650,10 +673,6 @@ impl Engine {
         len: usize,
         coll_seq: u64,
     ) -> BcastState {
-        // Children in decreasing-mask order: largest subtree first, as
-        // MPICH's bcast does.
-        let mut kids = children(self.rank, root, comm.size);
-        kids.reverse();
         BcastState {
             context: comm.coll_context,
             root,
@@ -663,7 +682,8 @@ impl Engine {
             len,
             data,
             recv_req: None,
-            sends_remaining: kids,
+            sched: self.schedule(root, comm.size),
+            next_send: 0,
             send_reqs: Vec::new(),
         }
     }
@@ -713,7 +733,8 @@ impl Engine {
             dtype,
             coll_seq: reduce_seq,
             acc: data.to_vec(),
-            mask: 1,
+            sched: self.schedule(0, comm.size),
+            next_child: 0,
             child_recv: None,
             send_req: None,
             packet_kind: self.reduce_packet_kind,
@@ -1421,7 +1442,6 @@ impl Engine {
     }
 
     fn step_reduce(&mut self, s: &mut ReduceState) -> StepRes {
-        let relrank = rel_rank(s.rank, s.root, s.size);
         let mut progressed = false;
         loop {
             // Drain the outstanding child receive, if any.
@@ -1434,7 +1454,7 @@ impl Engine {
                             return StepRes::done(Outcome::Failed(e));
                         }
                         s.child_recv = None;
-                        s.mask <<= 1;
+                        s.next_child += 1;
                         progressed = true;
                         continue;
                     }
@@ -1450,38 +1470,33 @@ impl Engine {
                     Some(Outcome::Data(_)) | None => StepRes::pending(progressed),
                 };
             }
-            // Advance the mask loop.
-            if s.mask < s.size {
-                if relrank & s.mask != 0 {
-                    let parent = abs_rank(relrank - s.mask, s.root, s.size);
-                    let req = self.isend_with_kind(
-                        parent,
-                        coll_tag(coll_code::REDUCE, s.coll_seq, 0),
-                        s.context,
-                        Bytes::from(s.acc.clone()),
-                        s.packet_kind,
-                        s.coll_seq,
-                        s.root,
-                    );
-                    s.send_req = Some(req);
-                    progressed = true;
-                    continue;
-                }
-                let child_rel = relrank | s.mask;
-                if child_rel < s.size {
-                    let child = abs_rank(child_rel, s.root, s.size);
-                    let req = self.irecv_internal(
-                        Some(child),
-                        TagSel::Is(coll_tag(coll_code::REDUCE, s.coll_seq, 0)),
-                        s.context,
-                        s.acc.len(),
-                        Some(s.coll_seq),
-                    );
-                    s.child_recv = Some(req);
-                    progressed = true;
-                    continue;
-                }
-                s.mask <<= 1;
+            // Advance the schedule: one blocking child receive at a time in
+            // wait order (the MPICH mask loop when the schedule is
+            // binomial), then the send to the parent.
+            if let Some(&child) = s.sched.children_of(s.rank).get(s.next_child) {
+                let req = self.irecv_internal(
+                    Some(child),
+                    TagSel::Is(coll_tag(coll_code::REDUCE, s.coll_seq, 0)),
+                    s.context,
+                    s.acc.len(),
+                    Some(s.coll_seq),
+                );
+                s.child_recv = Some(req);
+                progressed = true;
+                continue;
+            }
+            if let Some(parent) = s.sched.parent_of(s.rank) {
+                let req = self.isend_with_kind(
+                    parent,
+                    coll_tag(coll_code::REDUCE, s.coll_seq, 0),
+                    s.context,
+                    Bytes::from(s.acc.clone()),
+                    s.packet_kind,
+                    s.coll_seq,
+                    s.root,
+                );
+                s.send_req = Some(req);
+                progressed = true;
                 continue;
             }
             // Root with all children folded in.
@@ -1493,7 +1508,9 @@ impl Engine {
         let mut progressed = false;
         if s.data.is_none() {
             if s.recv_req.is_none() {
-                let parent = crate::tree::parent(s.rank, s.root, s.size)
+                let parent = s
+                    .sched
+                    .parent_of(s.rank)
                     .expect("non-root bcast rank has a parent");
                 let req = self.irecv_internal(
                     Some(parent),
@@ -1516,9 +1533,10 @@ impl Engine {
                 Some(Outcome::Done) | None => return StepRes::pending(progressed),
             }
         }
-        // Have the data: issue sends to children, largest subtree first.
+        // Have the data: issue sends to children in schedule order.
         let data = s.data.clone().expect("data present past receive phase");
-        while let Some(child) = s.sends_remaining.pop() {
+        while let Some(&child) = s.sched.children_of(s.rank).get(s.next_send) {
+            s.next_send += 1;
             let req = self.isend_with_kind(
                 child,
                 coll_tag(coll_code::BCAST, s.coll_seq, 0),

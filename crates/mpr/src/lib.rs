@@ -6,6 +6,9 @@
 //! * [`types`] — ranks, tags, datatypes, errors,
 //! * [`op`] — MPI reduction operators applied over typed byte buffers,
 //! * [`tree`] — the binomial tree MPICH organizes collectives around (Fig. 1),
+//! * [`topology`] — pluggable tree families (binomial, k-nomial, chain,
+//!   flat) compiled into precomputed per-rank schedules the collective
+//!   state machines step against,
 //! * [`comm`] — communicators (context ids separate point-to-point,
 //!   collective and application-bypass traffic),
 //! * [`matchq`] — posted-receive and unexpected-message queues with MPI
@@ -54,6 +57,7 @@ pub mod op;
 pub mod request;
 #[doc(hidden)]
 pub mod testutil;
+pub mod topology;
 pub mod tree;
 pub mod types;
 
@@ -62,4 +66,5 @@ pub use comm::Communicator;
 pub use engine::{Action, Engine, EngineConfig, MessageEngine};
 pub use op::ReduceOp;
 pub use request::ReqId;
+pub use topology::{ScheduleCache, TopoSchedule, TopologyKind};
 pub use types::{Datatype, MprError, Rank, TagSel};

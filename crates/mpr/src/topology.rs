@@ -1,0 +1,495 @@
+//! Pluggable reduction topologies and precomputed per-rank schedules.
+//!
+//! The paper demonstrates application bypass on exactly one communication
+//! structure — MPICH's binomial tree ([`crate::tree`]) — but nothing in the
+//! bypass protocol depends on that shape: a reduction instance only needs to
+//! know *which children to wait for* and *where to forward the partial
+//! result*. This module makes that explicit. A [`TopologyKind`] names a tree
+//! family; [`TopoSchedule`] is the precomputed per-rank view (parent, ordered
+//! children, depth tags) the collective state machines step against, so the
+//! same reduce/bcast/allreduce code runs over any tree shape.
+//!
+//! Schedules are immutable once built and cached per `(root, size)` inside
+//! each engine ([`ScheduleCache`]), killing the per-instance `Vec` allocation
+//! the old `tree::children` call paid on the reduction hot path.
+//!
+//! The binomial schedule reproduces `crate::tree` exactly — same child
+//! order (increasing mask), same parent, same depth — so with the default
+//! `TopologyKind::Binomial` every packet, charge, and figure byte is
+//! identical to the pre-schedule code.
+
+use crate::tree;
+use crate::types::Rank;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+/// A tree family for reduction/broadcast collectives.
+///
+/// Selected process-wide via the `ABR_TOPO` environment knob (see
+/// [`TopologyKind::from_env`]); defaults to [`TopologyKind::Binomial`],
+/// which is bit-identical to the MPICH mask loop the paper models.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum TopologyKind {
+    /// MPICH's binomial tree (the paper's Fig. 1): relative rank `r` sends
+    /// to `r - lsb(r)`; children arrive in increasing-mask order.
+    #[default]
+    Binomial,
+    /// K-nomial tree of radix `k >= 2`: the base-`k` generalization of the
+    /// binomial tree (which is exactly `Knomial(2)`). Higher radix means a
+    /// shallower tree with more children per internal node.
+    Knomial(u32),
+    /// Chain (pipeline): relative rank `r` receives from `r + 1` and sends
+    /// to `r - 1`. Maximum depth, minimum fan-in — the shape that rewards
+    /// bypass most under skew because every rank is an internal node.
+    Chain,
+    /// Flat (star): every non-root sends directly to the root. Minimum
+    /// depth, maximum fan-in; no internal nodes, so bypass has nothing to
+    /// optimize (the paper's 2-node observation taken to the limit).
+    Flat,
+}
+
+impl fmt::Display for TopologyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyKind::Binomial => write!(f, "binomial"),
+            TopologyKind::Knomial(k) => write!(f, "knomial{k}"),
+            TopologyKind::Chain => write!(f, "chain"),
+            TopologyKind::Flat => write!(f, "flat"),
+        }
+    }
+}
+
+impl TopologyKind {
+    /// Parse an `ABR_TOPO` value: `binomial`, `knomial<k>` (k >= 2),
+    /// `chain`, or `flat`. Errors name the variable per the fail-fast
+    /// contract of [`abr_trace::parse_env`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use abr_mpr::topology::TopologyKind;
+    ///
+    /// assert_eq!(TopologyKind::parse("binomial"), Ok(TopologyKind::Binomial));
+    /// assert_eq!(TopologyKind::parse("knomial4"), Ok(TopologyKind::Knomial(4)));
+    /// assert!(TopologyKind::parse("knomial1").unwrap_err().contains("ABR_TOPO"));
+    /// assert!(TopologyKind::parse("ring").unwrap_err().contains("ABR_TOPO"));
+    /// ```
+    pub fn parse(raw: &str) -> Result<TopologyKind, String> {
+        let raw = raw.trim();
+        match raw {
+            "binomial" => Ok(TopologyKind::Binomial),
+            "chain" => Ok(TopologyKind::Chain),
+            "flat" => Ok(TopologyKind::Flat),
+            _ => {
+                if let Some(k) = raw.strip_prefix("knomial") {
+                    let k: u32 = k.parse().map_err(|_| {
+                        format!("ABR_TOPO: knomial needs a numeric radix, got {raw:?}")
+                    })?;
+                    if k < 2 {
+                        return Err(format!("ABR_TOPO: knomial radix must be >= 2, got {k}"));
+                    }
+                    Ok(TopologyKind::Knomial(k))
+                } else {
+                    Err(format!(
+                        "ABR_TOPO: unknown topology {raw:?} (expected binomial, knomial<k>, chain, or flat)"
+                    ))
+                }
+            }
+        }
+    }
+
+    /// Read `ABR_TOPO` from the environment; `None` when unset, panics
+    /// (naming the variable) on an invalid value.
+    pub fn from_env() -> Option<TopologyKind> {
+        abr_trace::parse_env("ABR_TOPO", TopologyKind::parse)
+    }
+
+    /// [`TopologyKind::from_env`] with the binomial default applied — the
+    /// process-wide topology every driver and figure uses unless a spec
+    /// overrides it explicitly.
+    pub fn from_env_or_default() -> TopologyKind {
+        TopologyKind::from_env().unwrap_or_default()
+    }
+
+    /// Build the schedule for a `size`-rank communicator rooted at `root`.
+    ///
+    /// Prefer [`ScheduleCache::get`] on hot paths; this always allocates.
+    pub fn schedule(self, root: Rank, size: u32) -> TopoSchedule {
+        TopoSchedule::build(self, root, size)
+    }
+
+    /// Children of relative rank `rel`, pushed onto `out` in the order the
+    /// blocking implementation waits on them (nearest subtree first).
+    fn children_rel(self, rel: u32, size: u32, out: &mut Vec<u32>) {
+        match self {
+            TopologyKind::Binomial => {
+                let mut mask = 1u32;
+                while mask < size {
+                    if rel & mask != 0 {
+                        break;
+                    }
+                    let child = rel | mask;
+                    if child < size {
+                        out.push(child);
+                    }
+                    mask <<= 1;
+                }
+            }
+            TopologyKind::Knomial(k) => {
+                // Level i exists while rel's base-k digits 0..=i are all
+                // zero; its children are rel + j*k^i for j in 1..k. At
+                // k = 2 this is exactly the binomial mask loop.
+                let k = k as u64;
+                let mut step = 1u64; // k^i
+                loop {
+                    if !(rel as u64).is_multiple_of(step * k) {
+                        break;
+                    }
+                    for j in 1..k {
+                        let child = rel as u64 + j * step;
+                        if child < size as u64 {
+                            out.push(child as u32);
+                        }
+                    }
+                    if step >= size as u64 {
+                        break;
+                    }
+                    step *= k;
+                }
+            }
+            TopologyKind::Chain => {
+                if rel + 1 < size {
+                    out.push(rel + 1);
+                }
+            }
+            TopologyKind::Flat => {
+                if rel == 0 {
+                    out.extend(1..size);
+                }
+            }
+        }
+    }
+}
+
+/// Precomputed per-rank schedule for one `(kind, root, size)` tree.
+///
+/// Stored in CSR form: a flat child array plus per-rank offsets, so
+/// [`TopoSchedule::children_of`] is an allocation-free slice borrow. All
+/// ranks in the arrays are *absolute* (already rotated by `root`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoSchedule {
+    kind: TopologyKind,
+    root: Rank,
+    size: u32,
+    /// Per-rank parent, `u32::MAX` for the root (kept dense for cache
+    /// friendliness; exposed as `Option` via [`TopoSchedule::parent_of`]).
+    parent: Vec<u32>,
+    /// CSR offsets into `child_arr`, length `size + 1`.
+    child_off: Vec<u32>,
+    /// Flat child array in per-rank wait order.
+    child_arr: Vec<Rank>,
+    /// Per-rank hops to the root — the schedule's phase tag: a rank at
+    /// depth `d` can only be folded after its whole depth-`> d` subtree.
+    depth: Vec<u32>,
+    max_depth: u32,
+    last_node: Rank,
+}
+
+impl TopoSchedule {
+    /// Build the schedule; see [`TopologyKind::schedule`].
+    ///
+    /// # Panics
+    /// Panics if `size == 0` or `root >= size`.
+    pub fn build(kind: TopologyKind, root: Rank, size: u32) -> TopoSchedule {
+        assert!(size >= 1, "communicator size must be >= 1");
+        assert!(root < size, "root {root} out of range for size {size}");
+        let n = size as usize;
+        let mut parent = vec![u32::MAX; n];
+        let mut child_off = Vec::with_capacity(n + 1);
+        let mut child_arr = Vec::new();
+        let mut kids = Vec::new();
+        child_off.push(0);
+        for rank in 0..size {
+            let rel = tree::rel_rank(rank, root, size);
+            kids.clear();
+            kind.children_rel(rel, size, &mut kids);
+            for &child_rel in &kids {
+                let child = tree::abs_rank(child_rel, root, size);
+                child_arr.push(child);
+                parent[child as usize] = rank;
+            }
+            child_off.push(child_arr.len() as u32);
+        }
+        debug_assert_eq!(child_arr.len() as u32, size - 1, "not a spanning tree");
+        // Depth by walking parents; the tree property (every non-root has
+        // exactly one parent, acyclic) makes this terminate.
+        let mut depth = vec![0u32; n];
+        for (rank, slot) in depth.iter_mut().enumerate() {
+            let mut d = 0;
+            let mut cur = rank as u32;
+            while parent[cur as usize] != u32::MAX {
+                d += 1;
+                cur = parent[cur as usize];
+                debug_assert!(d <= size, "parent chain cycles at rank {rank}");
+            }
+            *slot = d;
+        }
+        // Deepest contribution path; ties toward the larger relative rank
+        // (matches `tree::last_node` for the binomial family).
+        let last_rel = (0..size)
+            .max_by_key(|&rel| (depth[tree::abs_rank(rel, root, size) as usize], rel))
+            .expect("size >= 1");
+        let last_node = tree::abs_rank(last_rel, root, size);
+        let max_depth = depth.iter().copied().max().unwrap_or(0);
+        TopoSchedule {
+            kind,
+            root,
+            size,
+            parent,
+            child_off,
+            child_arr,
+            depth,
+            max_depth,
+            last_node,
+        }
+    }
+
+    /// The tree family this schedule was built from.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// The reduction root.
+    pub fn root(&self) -> Rank {
+        self.root
+    }
+
+    /// Communicator size.
+    pub fn size(&self) -> u32 {
+        self.size
+    }
+
+    /// The children `rank` waits on, in wait order, as an allocation-free
+    /// slice.
+    pub fn children_of(&self, rank: Rank) -> &[Rank] {
+        let lo = self.child_off[rank as usize] as usize;
+        let hi = self.child_off[rank as usize + 1] as usize;
+        &self.child_arr[lo..hi]
+    }
+
+    /// The parent `rank` forwards its partial result to; `None` for the
+    /// root.
+    pub fn parent_of(&self, rank: Rank) -> Option<Rank> {
+        match self.parent[rank as usize] {
+            u32::MAX => None,
+            p => Some(p),
+        }
+    }
+
+    /// True if `rank` contributes but folds nothing (white nodes in
+    /// Fig. 1).
+    pub fn is_leaf(&self, rank: Rank) -> bool {
+        rank != self.root && self.children_of(rank).is_empty()
+    }
+
+    /// True if `rank` folds children and forwards — the only nodes
+    /// application bypass optimizes (§II).
+    pub fn is_internal(&self, rank: Rank) -> bool {
+        rank != self.root && !self.children_of(rank).is_empty()
+    }
+
+    /// Hops from `rank` to the root (the schedule's phase tag).
+    pub fn depth_of(&self, rank: Rank) -> u32 {
+        self.depth[rank as usize]
+    }
+
+    /// Depth of the whole tree in hops.
+    pub fn max_depth(&self) -> u32 {
+        self.max_depth
+    }
+
+    /// The rank whose contribution traverses the most hops to the root,
+    /// ties toward the larger relative rank — the "last node" of the §VI
+    /// latency microbenchmark.
+    pub fn last_node(&self) -> Rank {
+        self.last_node
+    }
+}
+
+/// Per-engine cache of schedules keyed by `(root, size)` (the kind is
+/// fixed per cache). Collective instances share the cached schedule via
+/// `Arc`, so steady-state reductions allocate nothing for tree structure.
+#[derive(Debug, Clone)]
+pub struct ScheduleCache {
+    kind: TopologyKind,
+    map: HashMap<(Rank, u32), Arc<TopoSchedule>>,
+}
+
+impl ScheduleCache {
+    /// Empty cache for one tree family.
+    pub fn new(kind: TopologyKind) -> ScheduleCache {
+        ScheduleCache {
+            kind,
+            map: HashMap::new(),
+        }
+    }
+
+    /// The tree family this cache builds.
+    pub fn kind(&self) -> TopologyKind {
+        self.kind
+    }
+
+    /// The schedule for `(root, size)`, building it on first use.
+    pub fn get(&mut self, root: Rank, size: u32) -> Arc<TopoSchedule> {
+        Arc::clone(
+            self.map
+                .entry((root, size))
+                .or_insert_with(|| Arc::new(TopoSchedule::build(self.kind, root, size))),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const ALL_KINDS: [TopologyKind; 5] = [
+        TopologyKind::Binomial,
+        TopologyKind::Knomial(2),
+        TopologyKind::Knomial(4),
+        TopologyKind::Chain,
+        TopologyKind::Flat,
+    ];
+
+    #[test]
+    fn binomial_schedule_matches_tree_module_exactly() {
+        for size in 1..=40u32 {
+            for root in 0..size {
+                let s = TopologyKind::Binomial.schedule(root, size);
+                for rank in 0..size {
+                    assert_eq!(
+                        s.children_of(rank),
+                        &tree::children(rank, root, size)[..],
+                        "children size={size} root={root} rank={rank}"
+                    );
+                    assert_eq!(s.parent_of(rank), tree::parent(rank, root, size));
+                    assert_eq!(s.is_leaf(rank), tree::is_leaf(rank, root, size));
+                    assert_eq!(s.is_internal(rank), tree::is_internal(rank, root, size));
+                    assert_eq!(s.depth_of(rank), tree::hops_to_root(rank, root, size));
+                }
+                assert_eq!(s.last_node(), tree::last_node(root, size));
+                // Binomial depth is the relative-rank popcount; `tree_depth`
+                // (ceil(log2)) can exceed it at non-power-of-two sizes.
+                let max_hops = (0..size).map(u32::count_ones).max().unwrap();
+                assert_eq!(s.max_depth(), max_hops);
+            }
+        }
+    }
+
+    #[test]
+    fn knomial2_is_binomial() {
+        for size in [1u32, 2, 3, 7, 8, 9, 16, 31, 33] {
+            for root in [0, size / 2, size - 1] {
+                assert_eq!(
+                    TopologyKind::Knomial(2).schedule(root, size),
+                    TopologyKind::Binomial
+                        .schedule(root, size)
+                        .clone_as_kind(TopologyKind::Knomial(2)),
+                    "size={size} root={root}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn knomial4_fig_shapes() {
+        // Root 0, size 16, radix 4: children of 0 are 1,2,3 (level 0) then
+        // 4,8,12 (level 1); 4's children are 5,6,7; 13 is a leaf.
+        let s = TopologyKind::Knomial(4).schedule(0, 16);
+        assert_eq!(s.children_of(0), &[1, 2, 3, 4, 8, 12]);
+        assert_eq!(s.children_of(4), &[5, 6, 7]);
+        assert_eq!(s.children_of(13), &[] as &[Rank]);
+        assert_eq!(s.parent_of(13), Some(12));
+        assert_eq!(s.max_depth(), 2);
+    }
+
+    #[test]
+    fn chain_and_flat_shapes() {
+        let c = TopologyKind::Chain.schedule(0, 5);
+        assert_eq!(c.children_of(0), &[1]);
+        assert_eq!(c.children_of(3), &[4]);
+        assert_eq!(c.parent_of(4), Some(3));
+        assert_eq!(c.max_depth(), 4);
+        assert_eq!(c.last_node(), 4);
+        let f = TopologyKind::Flat.schedule(0, 5);
+        assert_eq!(f.children_of(0), &[1, 2, 3, 4]);
+        assert!((1..5).all(|r| f.is_leaf(r)));
+        assert_eq!(f.max_depth(), 1);
+    }
+
+    #[test]
+    fn rotation_applies_to_all_kinds() {
+        for kind in ALL_KINDS {
+            let s = kind.schedule(3, 8);
+            assert_eq!(s.parent_of(3), None, "{kind}");
+            // Every non-root reaches 3 by walking parents.
+            for rank in 0..8u32 {
+                let mut cur = rank;
+                while let Some(p) = s.parent_of(cur) {
+                    cur = p;
+                }
+                assert_eq!(cur, 3, "{kind} rank {rank}");
+            }
+        }
+    }
+
+    #[test]
+    fn parse_accepts_and_rejects() {
+        assert_eq!(
+            TopologyKind::parse(" binomial "),
+            Ok(TopologyKind::Binomial)
+        );
+        assert_eq!(
+            TopologyKind::parse("knomial8"),
+            Ok(TopologyKind::Knomial(8))
+        );
+        assert_eq!(TopologyKind::parse("chain"), Ok(TopologyKind::Chain));
+        assert_eq!(TopologyKind::parse("flat"), Ok(TopologyKind::Flat));
+        for bad in [
+            "", "ring", "knomial", "knomial0", "knomial1", "knomialx", "Binomial",
+        ] {
+            let err = TopologyKind::parse(bad).unwrap_err();
+            assert!(err.contains("ABR_TOPO"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn display_round_trips_through_parse() {
+        for kind in ALL_KINDS {
+            assert_eq!(TopologyKind::parse(&kind.to_string()), Ok(kind));
+        }
+    }
+
+    #[test]
+    fn cache_shares_one_schedule_per_shape() {
+        let mut cache = ScheduleCache::new(TopologyKind::Chain);
+        let a = cache.get(0, 8);
+        let b = cache.get(0, 8);
+        assert!(Arc::ptr_eq(&a, &b));
+        let c = cache.get(1, 8);
+        assert!(!Arc::ptr_eq(&a, &c));
+        assert_eq!(cache.kind(), TopologyKind::Chain);
+    }
+
+    impl TopoSchedule {
+        /// Test helper: relabel the kind so structural equality can be
+        /// asserted across families that build the same tree.
+        fn clone_as_kind(&self, kind: TopologyKind) -> TopoSchedule {
+            TopoSchedule {
+                kind,
+                ..self.clone()
+            }
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Property tests for the schedule layer: every [`TopologyKind`] must
+//! produce a spanning tree rooted at the requested root, for arbitrary
+//! (kind, size, root) — non-power-of-two sizes included.
+
+use abr_mpr::topology::{ScheduleCache, TopologyKind};
+use proptest::prelude::*;
+
+fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
+    prop_oneof![
+        Just(TopologyKind::Binomial),
+        (2u32..8).prop_map(TopologyKind::Knomial),
+        Just(TopologyKind::Chain),
+        Just(TopologyKind::Flat),
+    ]
+}
+
+proptest! {
+    /// Structural invariants shared by every topology: a schedule is a
+    /// spanning tree over `0..size` rooted at `root`, with exactly
+    /// `size - 1` parent/child edges and consistent parent/children
+    /// views, and the depth metadata matches the actual parent chains.
+    #[test]
+    fn schedule_is_spanning_tree(
+        kind in kind_strategy(),
+        size in 1u32..150,
+        root_sel in 0u32..150,
+    ) {
+        let root = root_sel % size;
+        let s = kind.schedule(root, size);
+        prop_assert_eq!(s.kind(), kind);
+        prop_assert_eq!(s.root(), root);
+        prop_assert_eq!(s.size(), size);
+
+        let mut edges = 0u32;
+        let mut max_depth = 0u32;
+        for rank in 0..size {
+            match s.parent_of(rank) {
+                None => prop_assert_eq!(rank, root),
+                Some(p) => {
+                    prop_assert!(p < size);
+                    prop_assert!(s.children_of(p).contains(&rank),
+                        "kind {} size {} root {}: {} not listed under parent {}",
+                        kind, size, root, rank, p);
+                }
+            }
+            let kids = s.children_of(rank);
+            edges += kids.len() as u32;
+            for &c in kids {
+                prop_assert!(c < size);
+                prop_assert_eq!(s.parent_of(c), Some(rank));
+            }
+
+            // Walk the parent chain to the root; it must terminate in at
+            // most size-1 hops (i.e. no cycles) and its length must equal
+            // the precomputed depth tag.
+            let mut cur = rank;
+            let mut hops = 0u32;
+            while let Some(p) = s.parent_of(cur) {
+                cur = p;
+                hops += 1;
+                prop_assert!(hops < size, "cycle reaching root from {}", rank);
+            }
+            prop_assert_eq!(cur, root);
+            prop_assert_eq!(s.depth_of(rank), hops,
+                "kind {} size {} root {}: depth tag of {}", kind, size, root, rank);
+            max_depth = max_depth.max(hops);
+
+            // Exactly one of root/leaf/internal.
+            let is_root = rank == root;
+            prop_assert_eq!(
+                u8::from(is_root) + u8::from(s.is_leaf(rank)) + u8::from(s.is_internal(rank)),
+                1,
+                "kind {} size {} root {} rank {}", kind, size, root, rank
+            );
+        }
+        prop_assert_eq!(edges, size - 1);
+        prop_assert_eq!(s.max_depth(), max_depth);
+        // The designated last node sits at maximal depth.
+        prop_assert_eq!(s.depth_of(s.last_node()), max_depth);
+    }
+
+    /// The cache hands out one shared schedule per (root, size) and the
+    /// shared instance equals a freshly built one.
+    #[test]
+    fn cache_is_transparent(
+        kind in kind_strategy(),
+        size in 1u32..64,
+        root_sel in 0u32..64,
+    ) {
+        let root = root_sel % size;
+        let mut cache = ScheduleCache::new(kind);
+        let a = cache.get(root, size);
+        let b = cache.get(root, size);
+        prop_assert!(std::sync::Arc::ptr_eq(&a, &b));
+        let fresh = kind.schedule(root, size);
+        for rank in 0..size {
+            prop_assert_eq!(a.children_of(rank), fresh.children_of(rank));
+            prop_assert_eq!(a.parent_of(rank), fresh.parent_of(rank));
+        }
+    }
+}

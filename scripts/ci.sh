@@ -33,4 +33,19 @@ echo "==> traced figure run (Chrome JSON + CPU attribution, reconciled)"
 ABR_ITERS=20 ABR_TRACE="chrome=TRACE_events.json,report=TRACE_cpu.txt" \
   cargo run -q --release -p abr_bench --bin trace_figure
 
+echo "==> topology smoke matrix (every tree family end-to-end on the DES)"
+for topo in binomial knomial4 chain flat; do
+  ABR_TOPO="$topo" ABR_ITERS=5 ABR_JOBS=2 \
+    cargo run -q --release -p abr_bench --bin fig6 > "FIG6_$topo.txt"
+  echo "    ABR_TOPO=$topo ok"
+done
+# The binomial schedule must replay the paper's mask-loop tree exactly:
+# its fig6 series are pinned byte-for-byte against a committed golden.
+diff -u crates/bench/golden/fig6_iters5.txt FIG6_binomial.txt \
+  || { echo "ABR_TOPO=binomial diverged from the pre-refactor golden"; exit 1; }
+
+echo "==> skew-vs-topology figure"
+ABR_ITERS=20 ABR_JOBS=2 \
+  cargo run -q --release -p abr_bench --bin topology_figure > FIG_topology.txt
+
 echo "CI gate passed."
