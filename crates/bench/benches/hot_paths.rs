@@ -3,7 +3,7 @@
 //! engine-level reduction over the loopback, and one simulated
 //! CPU-utilization iteration.
 
-use abr_cluster::microbench::{run_cpu_util, CpuUtilConfig, Mode};
+use abr_cluster::microbench::{run_cpu_util, run_scale_bench, CpuUtilConfig, Mode, ScaleExec};
 use abr_cluster::node::ClusterSpec;
 use abr_core::DelayPolicy;
 use abr_des::{EventQueue, SimTime};
@@ -289,6 +289,27 @@ fn bench_simulated_iteration(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_scale(c: &mut Criterion) {
+    // Events/sec at scale, before and after the arena/registry refactor.
+    // "legacy" emulates the pre-refactor driver (boxed programs, private
+    // per-engine schedule caches); "modern" is the index-addressed arena
+    // path with the shared schedule registry. Both simulate the identical
+    // event stream — the gap is pure hot-path cost. The 8k before/after
+    // that ISSUE acceptance tracks lives in `scale_figure` /
+    // BENCH_scale.json; these smaller sizes keep `cargo bench` quick.
+    let mut g = c.benchmark_group("des_scale");
+    g.sample_size(10);
+    for ranks in [256u32, 1024] {
+        g.bench_function(format!("cpu_util_{ranks}n_legacy"), |b| {
+            b.iter(|| black_box(run_scale_bench(ranks, 2, true, ScaleExec::Sequential)).events)
+        });
+        g.bench_function(format!("cpu_util_{ranks}n_modern"), |b| {
+            b.iter(|| black_box(run_scale_bench(ranks, 2, false, ScaleExec::Sequential)).events)
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_tree,
@@ -297,6 +318,7 @@ criterion_group!(
     bench_event_queue,
     bench_loopback_reduce,
     bench_drain_actions,
-    bench_simulated_iteration
+    bench_simulated_iteration,
+    bench_scale
 );
 criterion_main!(benches);

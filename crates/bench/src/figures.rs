@@ -679,6 +679,65 @@ pub fn fig_topology(iters: u64) -> Vec<Table> {
     vec![t_util, t_foi]
 }
 
+/// The scale figure: ab-vs-nab factor of improvement from the paper's
+/// 32-node testbed up to 65,536 ranks, on two tree families. Per-size
+/// iteration counts shrink as the cluster grows (a 64k-rank dissemination
+/// barrier is ~1M packets per iteration); the FoI converges in a couple of
+/// iterations because every rank × iteration contributes a sample.
+/// `ABR_SCALE_MAX` caps the largest size (CI smoke uses 1,024).
+pub fn fig_scale(iters: u64) -> Vec<Table> {
+    const SIZES: [u32; 5] = [32, 256, 1024, 8192, 65_536];
+    const TOPOS: [TopologyKind; 2] = [TopologyKind::Binomial, TopologyKind::Knomial(4)];
+    let max = crate::scale_max();
+    let sizes: Vec<u32> = SIZES.into_iter().filter(|&n| n <= max).collect();
+    let mut specs = Vec::new();
+    for &n in &sizes {
+        let it = scale_iters(iters, n);
+        for &topo in &TOPOS {
+            for mode in [Mode::Baseline, ab_mode()] {
+                specs.push(cpu_spec(
+                    ClusterSpec::heterogeneous(n).with_topology(topo),
+                    4,
+                    1000,
+                    it,
+                    mode,
+                ));
+            }
+        }
+    }
+    let out = sweep().run_points(&specs);
+    let cols: Vec<String> = std::iter::once("nodes".to_string())
+        .chain(
+            TOPOS
+                .iter()
+                .flat_map(|t| [format!("nab-{t}"), format!("ab-{t}"), format!("foi-{t}")]),
+        )
+        .collect();
+    let mut t = Table::new(
+        "Scale sweep: CPU utilization and factor of improvement vs cluster size (1000us max skew, 4 elems, us)",
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    for (row, &n) in sizes.iter().enumerate() {
+        let cells = &out[row * 4..row * 4 + 4];
+        let mut r = vec![n.to_string()];
+        for ti in 0..TOPOS.len() {
+            let nab = mean_cpu(&cells[ti * 2]);
+            let ab = mean_cpu(&cells[ti * 2 + 1]);
+            r.push(f2(nab));
+            r.push(f2(ab));
+            r.push(ratio(nab, ab));
+        }
+        t.row(r);
+    }
+    vec![t]
+}
+
+/// Iterations for one scale-figure size: shrink with the cluster so the
+/// event count per point stays bounded, never below 2.
+fn scale_iters(iters: u64, n: u32) -> u64 {
+    iters.min((131_072 / n as u64).max(2))
+}
+
 /// One sweep point per mode under an explicit [`FaultPlan`] (the
 /// `ABR_FAULTS` path of the `loss_figure` binary), with the full
 /// reliability-counter breakdown.

@@ -12,6 +12,7 @@
 #![warn(missing_docs)]
 
 pub mod figures;
+pub mod scale_json;
 pub mod sweep_json;
 
 /// Iterations per configuration, from `ABR_ITERS` (default 300).
@@ -34,9 +35,39 @@ pub fn parse_iters(raw: &str) -> Result<u64, String> {
     }
 }
 
+/// Largest cluster the scale figure sweeps, from `ABR_SCALE_MAX`
+/// (default 65,536). CI caps this to keep the smoke run fast.
+///
+/// # Panics
+/// Panics on a set-but-invalid `ABR_SCALE_MAX` (non-numeric or zero).
+pub fn scale_max() -> u32 {
+    abr_trace::parse_env("ABR_SCALE_MAX", parse_scale_max).unwrap_or(65_536)
+}
+
+/// Parse an explicit `ABR_SCALE_MAX` value: a positive rank count.
+pub fn parse_scale_max(raw: &str) -> Result<u32, String> {
+    match raw.trim().parse::<u32>() {
+        Ok(0) => Err("ABR_SCALE_MAX must be a positive rank count, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "ABR_SCALE_MAX must be a positive rank count, got {raw:?}"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_scale_max_accepts_positive_and_rejects_junk() {
+        assert_eq!(parse_scale_max("65536"), Ok(65_536));
+        assert_eq!(parse_scale_max(" 1024 "), Ok(1024));
+        for bad in ["0", "", "big", "-1"] {
+            let err = parse_scale_max(bad).unwrap_err();
+            assert!(err.contains("ABR_SCALE_MAX"), "{bad:?}: {err}");
+        }
+    }
 
     #[test]
     fn parse_iters_accepts_positive_and_rejects_junk() {

@@ -22,11 +22,40 @@
 //! * **Heterogeneity**: protocol and handler CPU charges are scaled by the
 //!   node's CPU class; packet delivery times come from the GM network model
 //!   with per-class PCI/LANai costs and per-(src,dst) FIFO ordering.
+//!
+//! # Storage: struct-of-arrays rank state
+//!
+//! Per-rank state lives in index-addressed arenas (one `Vec` per field
+//! class: engines, programs, meters, signal controls, hot scalars), not in
+//! per-rank boxed cells. At 64k ranks the hot scalars for a rank are one
+//! dense `RankState` row, and the driver is generic over the program type
+//! `P` so homogeneous program lists run with no `Box<dyn Program>` vtable
+//! hop (the boxed form still works via the default type parameter).
+//!
+//! # Execution: sequential and parallel-in-one-run
+//!
+//! [`DesDriver::run`] is the sequential executor: one event queue, FIFO
+//! tie-breaking, byte-identical to the historical driver. For large
+//! clusters, [`DesDriver::run_sharded`] partitions ranks into contiguous
+//! region shards and advances them concurrently between conservative
+//! synchronization horizons (a YAWNS-style window): with `T` the globally
+//! earliest pending event and `L` the cost model's minimum cross-node
+//! delivery latency ([`Network::min_delivery_delay`]), every shard may
+//! safely process all events strictly before `T + L`, because any packet a
+//! handler in the window sends cannot arrive before `T + L`. Cross-shard
+//! packets are exchanged through per-shard outboxes at each horizon.
+//!
+//! Determinism does not depend on the shard count: every event is stamped
+//! with a `(origin rank, per-origin counter)` tie-break key, and each
+//! origin's handlers run in the same order under any partitioning, so the
+//! per-rank event sequences — and therefore all results — are identical for
+//! 1, 2, or 8 shards. [`DesDriver::run_auto`] dispatches between the two
+//! executors on the `ABR_DES_SHARDS` environment knob.
 
 use crate::node::ClusterSpec;
 use crate::program::{Obs, Program, Step, StepCtx};
 use abr_des::meter::CpuCategory;
-use abr_des::{CpuMeter, EventId, EventQueue, SimDuration, SimTime};
+use abr_des::{CpuMeter, EventId, EventQueue, FxHashMap, SimDuration, SimTime};
 use abr_faults::{FaultInjector, FaultPlan, NodeReliability, RelConfig, RelEvent, RelStats};
 use abr_gm::nic::{Network, NodeHw};
 use abr_gm::packet::Packet;
@@ -36,7 +65,7 @@ use abr_mpr::request::Outcome;
 use abr_mpr::types::TagSel;
 use abr_mpr::ReqId;
 use abr_trace::{TraceEvent, TraceHandle, Tracer};
-use std::collections::HashMap;
+use std::sync::mpsc;
 use std::sync::Arc;
 
 enum Ev {
@@ -84,13 +113,8 @@ enum NodeState {
     Done,
 }
 
-struct NodeCell<E: MessageEngine> {
-    engine: E,
-    hw: NodeHw,
-    signal: SignalControl,
-    meter: CpuMeter,
-    program: Box<dyn Program>,
-    ctx: StepCtx,
+/// Hot per-rank scalars, one dense arena row per rank.
+struct RankState {
     state: NodeState,
     /// When this node's CPU is next free.
     cpu_free_at: SimTime,
@@ -109,8 +133,55 @@ struct NodeCell<E: MessageEngine> {
     /// NIC time from the most recent `apply_charges` (drives NIC-side
     /// forwarding latency in the offload extension).
     last_nic_charge: SimDuration,
-    /// Per-rank trace handle (disabled by default; see `install_tracer`).
-    trace: TraceHandle,
+}
+
+impl RankState {
+    fn fresh() -> Self {
+        RankState {
+            state: NodeState::Done, // replaced at start
+            cpu_free_at: SimTime::ZERO,
+            poll_from: SimTime::ZERO,
+            kick_pending: false,
+            gen: 0,
+            split_req: None,
+            synth_signals: 0,
+            interrupt_debt: SimDuration::ZERO,
+            last_nic_charge: SimDuration::ZERO,
+        }
+    }
+}
+
+/// A packet crossing shards: carries its arrival time and the tie-break key
+/// its source shard already assigned, so the destination shard can insert
+/// it into the globally consistent order.
+struct OutMsg {
+    at: SimTime,
+    key: u64,
+    dst: usize,
+    pkt: Packet,
+}
+
+/// Coordinator-to-worker message in the parallel executor.
+enum Cmd {
+    /// Merge `inbox` into the shard's queue, then process every local event
+    /// strictly before `horizon`.
+    Window {
+        horizon: SimTime,
+        inbox: Vec<OutMsg>,
+    },
+    /// Run complete: return the shard core to the coordinator.
+    Finish,
+}
+
+/// Worker-to-coordinator report after each window.
+struct Rep {
+    outbox: Vec<OutMsg>,
+    /// `(time, key)` of the shard's next pending event.
+    next: Option<(SimTime, u64)>,
+    /// Cumulative events processed by this shard.
+    events: u64,
+    /// Programs finished in this shard.
+    done: usize,
 }
 
 /// One recorded span of node activity (timeline introspection; used by the
@@ -128,7 +199,7 @@ pub struct TimelineEvent {
 }
 
 /// Per-node results extracted after a run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct NodeResult {
     /// Observations recorded by the node's program.
     pub obs: Vec<Obs>,
@@ -150,151 +221,79 @@ pub struct NodeResult {
     pub counters: Vec<(&'static str, u64)>,
 }
 
-/// The discrete-event driver. See module docs.
-pub struct DesDriver<E: MessageEngine> {
+/// The per-shard simulation core: an event queue, a network, and the rank
+/// arenas for the contiguous range `base .. base + len` of global ranks.
+/// The sequential executor is a single core owning every rank.
+struct Core<E: MessageEngine, P: Program> {
+    /// First global rank owned by this core.
+    base: usize,
     queue: EventQueue<Ev>,
     network: Network,
-    nodes: Vec<NodeCell<E>>,
-    wire_seq: HashMap<(u32, u32), u64>,
+    // ---- struct-of-arrays rank arenas (index = global rank - base) ----
+    engines: Vec<E>,
+    programs: Vec<P>,
+    signals: Vec<SignalControl>,
+    meters: Vec<CpuMeter>,
+    ctxs: Vec<StepCtx>,
+    rank: Vec<RankState>,
+    traces: Vec<TraceHandle>,
+    /// Hardware classes for **all** ranks (global index), `Copy`-cheap and
+    /// read-only: transmits need the destination's class even when the
+    /// destination lives in another shard.
+    hw: Vec<NodeHw>,
+    wire_seq: FxHashMap<(u32, u32), u64>,
     done_count: usize,
-    max_events: u64,
-    /// Total packets delivered.
-    pub packets_delivered: u64,
+    packets_delivered: u64,
+    /// Events processed by this core.
+    events: u64,
     timeline: Option<Vec<TimelineEvent>>,
     /// Reused buffer for draining engine actions (see `route_actions`).
     action_scratch: Vec<Action>,
     faults: Option<FaultState>,
-    tracer: Option<Arc<dyn Tracer>>,
+    /// Stamp events with partition-independent `(origin, counter)` keys
+    /// instead of the queue's FIFO sequence. Off for the sequential
+    /// executor (byte-identical legacy order), on for the sharded one.
+    keyed: bool,
+    /// Per-owned-rank tie-break counters (keyed mode).
+    key_ctr: Vec<u64>,
+    /// Packets destined for ranks outside this core, exchanged at horizons.
+    outbox: Vec<OutMsg>,
 }
 
-impl<E: MessageEngine> DesDriver<E> {
-    /// Build a driver for `spec`, constructing one engine per rank with
-    /// `make_engine` and running `programs[rank]` on it.
-    pub fn new(
-        spec: &ClusterSpec,
-        mut make_engine: impl FnMut(u32, EngineConfig) -> E,
-        programs: Vec<Box<dyn Program>>,
-    ) -> Self {
-        let n = spec.len();
-        assert_eq!(programs.len(), n, "one program per rank");
-        assert!(n >= 1);
-        let config = EngineConfig {
-            cost: spec.cost.clone(),
-            eager_limit: spec.eager_limit,
-            memory_budget: None,
-            allreduce_rs_threshold: 2048,
-            topology: spec.topology,
-        };
-        let nodes = programs
-            .into_iter()
-            .enumerate()
-            .map(|(i, program)| NodeCell {
-                engine: make_engine(i as u32, config.clone()),
-                hw: spec.nodes[i],
-                signal: SignalControl::new(),
-                meter: CpuMeter::new(),
-                program,
-                ctx: StepCtx::new(),
-                state: NodeState::Done, // replaced at start
-                cpu_free_at: SimTime::ZERO,
-                poll_from: SimTime::ZERO,
-                kick_pending: false,
-                gen: 0,
-                split_req: None,
-                synth_signals: 0,
-                interrupt_debt: SimDuration::ZERO,
-                last_nic_charge: SimDuration::ZERO,
-                trace: TraceHandle::default(),
-            })
-            .collect();
-        DesDriver {
-            queue: EventQueue::new(),
-            network: Network::new(spec.cost.clone()),
-            nodes,
-            wire_seq: HashMap::new(),
-            done_count: 0,
-            max_events: 2_000_000_000,
-            packets_delivered: 0,
-            timeline: None,
-            action_scratch: Vec::new(),
-            faults: None,
-            tracer: None,
-        }
+impl<E: MessageEngine, P: Program> Core<E, P> {
+    fn len(&self) -> usize {
+        self.programs.len()
     }
 
-    /// Wire a [`Tracer`] through the whole stack: each rank's CPU meter,
-    /// engine, signal control and (when faults are installed) reliability
-    /// layer gets a per-rank handle, the network emits per-segment wire
-    /// charges, and the event queue publishes virtual time to the recorder
-    /// on every pop. With no tracer installed every one of those sites is a
-    /// single `Option` branch (cost neutrality, like [`FaultPlan::none`]).
-    pub fn install_tracer(&mut self, tracer: Arc<dyn Tracer>) {
-        self.queue.set_tracer(TraceHandle::new(tracer.clone(), 0));
-        self.network.set_tracer(TraceHandle::new(tracer.clone(), 0));
-        for (i, cell) in self.nodes.iter_mut().enumerate() {
-            let h = TraceHandle::new(tracer.clone(), i as u32);
-            cell.meter.set_tracer(h.clone());
-            cell.signal.set_tracer(h.clone());
-            cell.engine.set_tracer(h.clone());
-            cell.trace = h;
-        }
-        if let Some(f) = &mut self.faults {
-            f.injector.set_tracer(TraceHandle::new(tracer.clone(), 0));
-            for (i, r) in f.rel.iter_mut().enumerate() {
-                r.set_tracer(TraceHandle::new(tracer.clone(), i as u32));
-            }
-        }
-        self.tracer = Some(tracer);
+    #[inline]
+    fn owns(&self, node: usize) -> bool {
+        node >= self.base && node < self.base + self.programs.len()
     }
 
-    /// Install a fault plan and the reliability layer that tolerates it.
-    /// A [`FaultPlan::none`] plan is a no-op: the driver keeps its
-    /// fault-free hot paths and pays nothing.
-    pub fn set_faults(&mut self, plan: &FaultPlan, rel_cfg: RelConfig) {
-        if plan.is_none() {
-            return;
+    /// Next tie-break key for an event originated by global rank `origin`:
+    /// `(origin << 40) | counter`. The counter only advances inside
+    /// `origin`'s own handlers, whose order is partition-independent, so
+    /// the key sequence — and with it the merged event order — is the same
+    /// for any shard count.
+    #[inline]
+    fn next_key(&mut self, origin: usize) -> u64 {
+        let c = &mut self.key_ctr[origin - self.base];
+        let key = ((origin as u64) << 40) | *c;
+        *c += 1;
+        debug_assert!(*c < (1 << 40), "per-origin event counter overflow");
+        key
+    }
+
+    /// Schedule an event originated by `origin` (the rank whose handler is
+    /// running). Sequential mode uses the queue's FIFO sequence; keyed mode
+    /// stamps the partition-independent key.
+    fn sched(&mut self, origin: usize, at: SimTime, ev: Ev) -> EventId {
+        if self.keyed {
+            let key = self.next_key(origin);
+            self.queue.schedule_keyed(at, key, ev)
+        } else {
+            self.queue.schedule(at, ev)
         }
-        let n = self.nodes.len();
-        let mut state = FaultState {
-            injector: FaultInjector::new(plan.clone()),
-            rel: (0..n)
-                .map(|i| NodeReliability::new(i as u32, rel_cfg))
-                .collect(),
-            tick: vec![None; n],
-        };
-        if let Some(tracer) = &self.tracer {
-            state
-                .injector
-                .set_tracer(TraceHandle::new(tracer.clone(), 0));
-            for (i, r) in state.rel.iter_mut().enumerate() {
-                r.set_tracer(TraceHandle::new(tracer.clone(), i as u32));
-            }
-        }
-        self.faults = Some(state);
-    }
-
-    /// Aggregate reliability-layer counters across all nodes, if the fault
-    /// layer is active.
-    pub fn rel_stats(&self) -> Option<RelStats> {
-        self.faults.as_ref().map(|f| {
-            let mut total = RelStats::default();
-            for r in &f.rel {
-                total.merge(&r.stats());
-            }
-            total
-        })
-    }
-
-    /// Record a timeline of per-node activity spans (off by default; it
-    /// costs memory proportional to the event count).
-    pub fn with_timeline(mut self) -> Self {
-        self.timeline = Some(Vec::new());
-        self
-    }
-
-    /// The recorded timeline, if enabled.
-    pub fn timeline(&self) -> Option<&[TimelineEvent]> {
-        self.timeline.as_deref()
     }
 
     fn record_span(&mut self, node: usize, kind: CpuCategory, start: SimTime, dur: SimDuration) {
@@ -311,75 +310,6 @@ impl<E: MessageEngine> DesDriver<E> {
         }
     }
 
-    /// Cap the number of events (runaway protection in tests).
-    pub fn with_max_events(mut self, max: u64) -> Self {
-        self.max_events = max;
-        self
-    }
-
-    /// Run to completion (every program `Done`).
-    ///
-    /// # Panics
-    /// Panics on deadlock (event queue drained with programs unfinished) or
-    /// on exceeding the event cap.
-    pub fn run(&mut self) {
-        let n = self.nodes.len();
-        for i in 0..n {
-            self.advance_program(i, SimTime::ZERO);
-        }
-        let mut events = 0u64;
-        while self.done_count < n {
-            let Some(ev) = self.queue.pop() else {
-                let stuck: Vec<usize> = self
-                    .nodes
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, c)| !matches!(c.state, NodeState::Done))
-                    .map(|(i, _)| i)
-                    .collect();
-                panic!("DES deadlock: nodes {stuck:?} never finished");
-            };
-            events += 1;
-            assert!(events <= self.max_events, "event cap exceeded: livelock?");
-            let at = ev.at;
-            match ev.payload {
-                Ev::Deliver { node, pkt } => self.on_deliver(node, pkt, at),
-                Ev::StepDone { node, gen } => self.on_step_done(node, gen, at),
-                Ev::Deadline { node, req, gen } => self.on_deadline(node, req, gen, at),
-                Ev::Kick { node } => self.on_kick(node, at),
-                Ev::RelTick { node } => self.on_rel_tick(node, at),
-            }
-        }
-    }
-
-    /// Current virtual time.
-    pub fn now(&self) -> SimTime {
-        self.queue.now()
-    }
-
-    /// The network (post-run statistics).
-    pub fn network(&self) -> &Network {
-        &self.network
-    }
-
-    /// Extract per-node results.
-    pub fn results(&self) -> Vec<NodeResult> {
-        self.nodes
-            .iter()
-            .map(|c| NodeResult {
-                obs: c.ctx.obs.clone(),
-                cpu_app_us: c.meter.category(CpuCategory::Application).as_us_f64(),
-                cpu_poll_us: c.meter.category(CpuCategory::Polling).as_us_f64(),
-                cpu_protocol_us: c.meter.category(CpuCategory::Protocol).as_us_f64(),
-                cpu_signal_us: c.meter.category(CpuCategory::SignalHandler).as_us_f64(),
-                cpu_nic_us: c.meter.category(CpuCategory::NicOffload).as_us_f64(),
-                signals_raised: c.signal.raised() + c.synth_signals,
-                signals_suppressed_busy: c.signal.suppressed_progress_underway(),
-                counters: c.engine.counters(),
-            })
-            .collect()
-    }
-
     // ------------------------------------------------------------------
     // Engine service helpers
     // ------------------------------------------------------------------
@@ -388,35 +318,38 @@ impl<E: MessageEngine> DesDriver<E> {
     /// work by the CPU class and NIC work by the LANai clock. Returns the
     /// total *host* time (NIC work runs on the NIC processor, concurrently).
     fn apply_charges(&mut self, i: usize) -> SimDuration {
-        let cell = &mut self.nodes[i];
-        let c = cell.engine.take_charges();
-        let protocol = cell.hw.scale_cpu(c.protocol);
-        let signal = cell.hw.scale_cpu(c.signal);
+        let l = i - self.base;
+        let c = self.engines[l].take_charges();
+        let hw = self.hw[i];
+        let protocol = hw.scale_cpu(c.protocol);
+        let signal = hw.scale_cpu(c.signal);
         // Polling entry costs scale with the CPU too.
-        let polling = cell.hw.scale_cpu(c.polling);
-        let nic = c.nic.scaled_f64(cell.hw.lanai.per_packet_scale());
-        cell.meter.charge(CpuCategory::Polling, polling);
-        cell.meter.charge(CpuCategory::Protocol, protocol);
-        cell.meter.charge(CpuCategory::SignalHandler, signal);
-        cell.meter.charge(CpuCategory::NicOffload, nic);
-        cell.last_nic_charge = nic;
+        let polling = hw.scale_cpu(c.polling);
+        let nic = c.nic.scaled_f64(hw.lanai.per_packet_scale());
+        let meter = &mut self.meters[l];
+        meter.charge(CpuCategory::Polling, polling);
+        meter.charge(CpuCategory::Protocol, protocol);
+        meter.charge(CpuCategory::SignalHandler, signal);
+        meter.charge(CpuCategory::NicOffload, nic);
+        self.rank[l].last_nic_charge = nic;
         polling + protocol + signal
     }
 
     /// Route the engine's pending actions. Sends are stamped `stamp`.
     fn route_actions(&mut self, i: usize, stamp: SimTime) {
+        let l = i - self.base;
         // Double-buffer: drain into a scratch vector that is returned to
-        // the driver afterwards, so steady-state routing allocates nothing.
+        // the core afterwards, so steady-state routing allocates nothing.
         let mut actions = std::mem::take(&mut self.action_scratch);
-        self.nodes[i].engine.drain_actions_into(&mut actions);
+        self.engines[l].drain_actions_into(&mut actions);
         for a in actions.drain(..) {
             match a {
                 Action::Send(pkt) => self.transmit(i, pkt, stamp),
                 Action::EnableSignals => {
-                    self.nodes[i].signal.enable();
+                    self.signals[l].enable();
                 }
                 Action::DisableSignals => {
-                    self.nodes[i].signal.disable();
+                    self.signals[l].disable();
                 }
             }
         }
@@ -429,7 +362,7 @@ impl<E: MessageEngine> DesDriver<E> {
     /// exactly the fault-free send.
     fn transmit(&mut self, i: usize, mut pkt: Packet, stamp: SimTime) {
         if let Some(f) = &mut self.faults {
-            pkt = f.rel[i].on_send(pkt, stamp.as_nanos());
+            pkt = f.rel[i - self.base].on_send(pkt, stamp.as_nanos());
         }
         self.transmit_raw(i, pkt, stamp);
         if self.faults.is_some() {
@@ -446,13 +379,14 @@ impl<E: MessageEngine> DesDriver<E> {
         pkt.header.wire_seq = *seq;
         *seq += 1;
         let dst = pkt.header.dst.index();
-        let src_hw = self.nodes[i].hw;
-        let dst_hw = self.nodes[dst].hw;
-        let Some(f) = &mut self.faults else {
+        let src_hw = self.hw[i];
+        let dst_hw = self.hw[dst];
+        if self.faults.is_none() {
             let arrive = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt);
-            self.queue.schedule(arrive, Ev::Deliver { node: dst, pkt });
+            self.send_deliver(i, dst, arrive, pkt);
             return;
-        };
+        }
+        let f = self.faults.as_mut().expect("checked above");
         let verdict = f.injector.decide(&pkt, Some(stamp.as_nanos()));
         if verdict.copies == 0 {
             // Dropped: the NIC and wire still did the work of sending it,
@@ -463,6 +397,8 @@ impl<E: MessageEngine> DesDriver<E> {
         for _ in 0..verdict.copies {
             let arrive = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt)
                 + SimDuration::from_nanos(verdict.extra_delay_ns);
+            // Faults imply the sequential executor (asserted in
+            // `run_sharded`), so every destination is local.
             self.queue.schedule(
                 arrive,
                 Ev::Deliver {
@@ -473,20 +409,37 @@ impl<E: MessageEngine> DesDriver<E> {
         }
     }
 
+    /// Schedule (or outbox) a fault-free packet delivery.
+    fn send_deliver(&mut self, src: usize, dst: usize, arrive: SimTime, pkt: Packet) {
+        if self.owns(dst) {
+            self.sched(src, arrive, Ev::Deliver { node: dst, pkt });
+        } else {
+            let key = self.next_key(src);
+            self.outbox.push(OutMsg {
+                at: arrive,
+                key,
+                dst,
+                pkt,
+            });
+        }
+    }
+
     /// (Re-)schedule node `i`'s retransmission-timer event to match its
     /// reliability layer's earliest deadline.
     fn schedule_rel_tick(&mut self, i: usize, now: SimTime) {
+        let l = i - self.base;
         let Some(f) = &mut self.faults else {
             return;
         };
-        let want = f.rel[i]
+        let want = f.rel[l]
             .next_deadline()
             .map(|ns| SimTime::from_nanos(ns).max(now));
-        match (want, f.tick[i]) {
+        match (want, f.tick[l]) {
             (None, None) => {}
             (None, Some((_, ev))) => {
                 self.queue.cancel(ev);
-                f.tick[i] = None;
+                let f = self.faults.as_mut().expect("checked above");
+                f.tick[l] = None;
             }
             (Some(at), Some((cur, _))) if cur == at => {}
             (Some(at), prev) => {
@@ -494,20 +447,22 @@ impl<E: MessageEngine> DesDriver<E> {
                     self.queue.cancel(ev);
                 }
                 let ev = self.queue.schedule(at, Ev::RelTick { node: i });
-                f.tick[i] = Some((at, ev));
+                let f = self.faults.as_mut().expect("checked above");
+                f.tick[l] = Some((at, ev));
             }
         }
     }
 
     /// A reliability timer fired: let node `i` retransmit what's overdue.
     fn on_rel_tick(&mut self, i: usize, t: SimTime) {
+        let l = i - self.base;
         let mut out = Vec::new();
         {
             let Some(f) = &mut self.faults else {
                 return;
             };
-            f.tick[i] = None;
-            f.rel[i].on_tick(t.as_nanos(), &mut out);
+            f.tick[l] = None;
+            f.rel[l].on_tick(t.as_nanos(), &mut out);
         }
         for e in out {
             match e {
@@ -527,7 +482,7 @@ impl<E: MessageEngine> DesDriver<E> {
         let w = self.apply_charges(i);
         self.record_span(i, CpuCategory::Protocol, t, w);
         let end = t + w;
-        self.nodes[i].cpu_free_at = end;
+        self.rank[i - self.base].cpu_free_at = end;
         self.route_actions(i, end);
         end
     }
@@ -536,11 +491,12 @@ impl<E: MessageEngine> DesDriver<E> {
     /// the receive queue (the enable-with-backlog edge §V-A must not lose):
     /// the NIC raises a signal immediately.
     fn maybe_synth_signal(&mut self, i: usize, t: SimTime) {
-        if matches!(self.nodes[i].state, NodeState::Blocked { .. }) {
+        let l = i - self.base;
+        if matches!(self.rank[l].state, NodeState::Blocked { .. }) {
             return;
         }
-        if self.nodes[i].signal.is_enabled() && self.nodes[i].engine.has_pending_signal_work() {
-            self.nodes[i].synth_signals += 1;
+        if self.signals[l].is_enabled() && self.engines[l].has_pending_signal_work() {
+            self.rank[l].synth_signals += 1;
             self.run_handler(i, t);
         }
     }
@@ -548,31 +504,30 @@ impl<E: MessageEngine> DesDriver<E> {
     /// Deliver a signal: run the asynchronous handler, preempting whatever
     /// the node is doing.
     fn run_handler(&mut self, i: usize, t: SimTime) {
-        self.nodes[i].engine.handle_signal();
+        let l = i - self.base;
+        self.engines[l].handle_signal();
         let w = self.apply_charges(i);
         self.record_span(i, CpuCategory::SignalHandler, t, w);
-        match self.nodes[i].state {
+        match self.rank[l].state {
             NodeState::Busy { charge, event } => {
                 // Preemption: the busy step finishes `w` later.
-                let new_end = self.nodes[i].cpu_free_at + w;
+                let new_end = self.rank[l].cpu_free_at + w;
                 self.queue.cancel(event);
-                let gen = self.nodes[i].gen;
-                let new_event = self.queue.schedule(new_end, Ev::StepDone { node: i, gen });
-                self.nodes[i].state = NodeState::Busy {
+                let gen = self.rank[l].gen;
+                let new_event = self.sched(i, new_end, Ev::StepDone { node: i, gen });
+                self.rank[l].state = NodeState::Busy {
                     charge,
                     event: new_event,
                 };
-                self.nodes[i].cpu_free_at = new_end;
+                self.rank[l].cpu_free_at = new_end;
                 self.route_actions(i, t + w);
             }
             _ => {
-                let end = self.nodes[i].cpu_free_at.max(t) + w;
-                self.nodes[i].cpu_free_at = end;
+                let end = self.rank[l].cpu_free_at.max(t) + w;
+                self.rank[l].cpu_free_at = end;
                 self.route_actions(i, end);
             }
         }
-        // The handler may have enabled... no: handlers only disable. But
-        // inner cranking may have freed follow-on work; nothing to do.
     }
 
     // ------------------------------------------------------------------
@@ -587,7 +542,7 @@ impl<E: MessageEngine> DesDriver<E> {
             let mut out = Vec::new();
             {
                 let f = self.faults.as_mut().expect("checked above");
-                f.rel[i].on_receive(pkt, t.as_nanos(), &mut out);
+                f.rel[i - self.base].on_receive(pkt, t.as_nanos(), &mut out);
             }
             for e in out {
                 match e {
@@ -607,48 +562,49 @@ impl<E: MessageEngine> DesDriver<E> {
     /// Hand one in-sequence packet to node `i`'s engine (the fault-free
     /// delivery path; under faults the reliability layer feeds this).
     fn deliver_to_node(&mut self, i: usize, pkt: Packet, t: SimTime) {
+        let l = i - self.base;
         self.packets_delivered += 1;
         // NIC-side pre-processing (the §VII extension) happens at arrival,
         // on the NIC processor, regardless of what the host is doing.
-        let Some(pkt) = self.nodes[i].engine.nic_preprocess(pkt) else {
+        let Some(pkt) = self.engines[l].nic_preprocess(pkt) else {
             let _nic_host = self.apply_charges(i); // charges NIC meter; host part ~0
             debug_assert!(_nic_host.is_zero(), "NIC preprocessing charged host CPU");
             // The NIC serializes matching and arithmetic before it can
             // forward a result: the LANai's slow per-element ops delay the
             // result on its way up the tree (refs. \[9\]/\[11\]'s trade-off).
-            let nic_busy = self.nodes[i].last_nic_charge;
+            let nic_busy = self.rank[l].last_nic_charge;
             self.record_span(i, CpuCategory::NicOffload, t, nic_busy);
             self.route_actions(i, t + nic_busy);
-            if matches!(self.nodes[i].state, NodeState::Blocked { .. }) {
-                if t >= self.nodes[i].cpu_free_at {
+            if matches!(self.rank[l].state, NodeState::Blocked { .. }) {
+                if t >= self.rank[l].cpu_free_at {
                     self.wake_blocked(i, t);
-                } else if !self.nodes[i].kick_pending {
-                    self.nodes[i].kick_pending = true;
-                    let at = self.nodes[i].cpu_free_at;
-                    self.queue.schedule(at, Ev::Kick { node: i });
+                } else if !self.rank[l].kick_pending {
+                    self.rank[l].kick_pending = true;
+                    let at = self.rank[l].cpu_free_at;
+                    self.sched(i, at, Ev::Kick { node: i });
                 }
             }
             return;
         };
-        let blocked = matches!(self.nodes[i].state, NodeState::Blocked { .. });
-        let arrival = self.nodes[i].signal.on_arrival(&pkt, blocked);
+        let blocked = matches!(self.rank[l].state, NodeState::Blocked { .. });
+        let arrival = self.signals[l].on_arrival(&pkt, blocked);
         let signal = arrival.is_ok();
         if arrival == Err(abr_gm::signal::SignalSuppression::ProgressUnderway) {
             // The NIC still raised the signal; the kernel-to-user delivery
             // is paid even though the handler body is skipped (Fig. 4's
             // "simply ignored" signal is not free).
             let cost = self.network.cost().signal_ignored_cost();
-            self.nodes[i].meter.charge(CpuCategory::SignalHandler, cost);
-            self.nodes[i].interrupt_debt += cost;
+            self.meters[l].charge(CpuCategory::SignalHandler, cost);
+            self.rank[l].interrupt_debt += cost;
         }
-        self.nodes[i].engine.deliver(pkt);
+        self.engines[l].deliver(pkt);
         if blocked {
-            if t >= self.nodes[i].cpu_free_at {
+            if t >= self.rank[l].cpu_free_at {
                 self.wake_blocked(i, t);
-            } else if !self.nodes[i].kick_pending {
-                self.nodes[i].kick_pending = true;
-                let at = self.nodes[i].cpu_free_at;
-                self.queue.schedule(at, Ev::Kick { node: i });
+            } else if !self.rank[l].kick_pending {
+                self.rank[l].kick_pending = true;
+                let at = self.rank[l].cpu_free_at;
+                self.sched(i, at, Ev::Kick { node: i });
             }
         } else if signal {
             self.run_handler(i, t);
@@ -663,57 +619,58 @@ impl<E: MessageEngine> DesDriver<E> {
         // for one blocking call may fire during a later one, where it is a
         // harmless extra progress pass — but dropping it while leaving
         // `kick_pending` set would lose the wakeup entirely.
-        self.nodes[i].kick_pending = false;
-        if matches!(self.nodes[i].state, NodeState::Blocked { .. }) {
+        let l = i - self.base;
+        self.rank[l].kick_pending = false;
+        if matches!(self.rank[l].state, NodeState::Blocked { .. }) {
             self.wake_blocked(i, t);
         }
     }
 
     fn on_step_done(&mut self, i: usize, gen: u64, t: SimTime) {
-        if self.nodes[i].gen != gen {
+        let l = i - self.base;
+        if self.rank[l].gen != gen {
             return;
         }
-        let NodeState::Busy { charge, .. } = self.nodes[i].state else {
+        let NodeState::Busy { charge, .. } = self.rank[l].state else {
             return;
         };
         // The busy loop's own CPU is charged on completion (handler
         // preemptions were charged separately as they happened).
-        self.nodes[i].meter.charge(CpuCategory::Application, charge);
+        self.meters[l].charge(CpuCategory::Application, charge);
         // Approximate span: the busy loop ended at `t` after consuming
         // `charge` of CPU (handler preemptions interleave within it).
         let span_start = SimTime::from_nanos(t.as_nanos().saturating_sub(charge.as_nanos()));
         self.record_span(i, CpuCategory::Application, span_start, charge);
-        self.nodes[i].gen += 1;
+        self.rank[l].gen += 1;
         self.advance_program(i, t);
     }
 
     fn on_deadline(&mut self, i: usize, req_raw: u64, gen: u64, t: SimTime) {
-        if self.nodes[i].gen != gen {
+        let l = i - self.base;
+        if self.rank[l].gen != gen {
             return;
         }
-        let NodeState::Blocked { req, .. } = self.nodes[i].state else {
+        let NodeState::Blocked { req, .. } = self.rank[l].state else {
             return;
         };
         if req.raw() != req_raw {
             return;
         }
         // Charge the tail of the bounded poll.
-        let poll_from = self.nodes[i].poll_from;
+        let poll_from = self.rank[l].poll_from;
         if t > poll_from {
-            self.nodes[i]
-                .meter
-                .charge(CpuCategory::Polling, t - poll_from);
+            self.meters[l].charge(CpuCategory::Polling, t - poll_from);
             self.record_span(i, CpuCategory::Polling, poll_from, t - poll_from);
         }
-        let exit_at = self.nodes[i].cpu_free_at.max(t);
-        self.nodes[i].engine.split_phase_exit(req);
+        let exit_at = self.rank[l].cpu_free_at.max(t);
+        self.engines[l].split_phase_exit(req);
         let end = self.finish_call(i, exit_at);
         debug_assert!(
-            self.nodes[i].engine.test(req),
+            self.engines[l].test(req),
             "split exit must complete the call"
         );
-        let _ = self.nodes[i].engine.take_outcome(req);
-        self.nodes[i].gen += 1;
+        let _ = self.engines[l].take_outcome(req);
+        self.rank[l].gen += 1;
         self.maybe_synth_signal(i, end);
         self.advance_program(i, end);
     }
@@ -722,40 +679,40 @@ impl<E: MessageEngine> DesDriver<E> {
     /// run the progress engine, and resume the program if the request
     /// completed.
     fn wake_blocked(&mut self, i: usize, t: SimTime) {
+        let l = i - self.base;
         let NodeState::Blocked {
             req,
             deadline_event,
-        } = self.nodes[i].state
+        } = self.rank[l].state
         else {
             return;
         };
-        let poll_from = self.nodes[i].poll_from;
+        let poll_from = self.rank[l].poll_from;
         if t > poll_from {
-            self.nodes[i]
-                .meter
-                .charge(CpuCategory::Polling, t - poll_from);
+            self.meters[l].charge(CpuCategory::Polling, t - poll_from);
             self.record_span(i, CpuCategory::Polling, poll_from, t - poll_from);
         }
         // Ignored-signal deliveries stole CPU while the node polled; the
         // lost time shows up as extra elapsed work now.
-        let debt = std::mem::take(&mut self.nodes[i].interrupt_debt);
-        self.nodes[i].engine.progress();
+        let debt = std::mem::take(&mut self.rank[l].interrupt_debt);
+        self.engines[l].progress();
         let end = self.finish_call(i, t.max(poll_from) + debt);
-        self.nodes[i].poll_from = end;
-        if self.nodes[i].engine.test(req) {
+        self.rank[l].poll_from = end;
+        if self.engines[l].test(req) {
             if let Some(ev) = deadline_event {
                 self.queue.cancel(ev);
             }
             self.consume_outcome(i, req);
-            self.nodes[i].gen += 1;
+            self.rank[l].gen += 1;
             self.maybe_synth_signal(i, end);
             self.advance_program(i, end);
         }
     }
 
     fn consume_outcome(&mut self, i: usize, req: ReqId) {
-        match self.nodes[i].engine.take_outcome(req) {
-            Some(Outcome::Data(d)) => self.nodes[i].ctx.last_data = Some(d),
+        let l = i - self.base;
+        match self.engines[l].take_outcome(req) {
+            Some(Outcome::Data(d)) => self.ctxs[l].last_data = Some(d),
             Some(Outcome::Done) | None => {}
             Some(Outcome::Failed(e)) => panic!("rank {i}: operation failed: {e}"),
         }
@@ -768,38 +725,32 @@ impl<E: MessageEngine> DesDriver<E> {
     /// Run program steps starting at `start` until the node blocks, starts
     /// a busy loop, or finishes.
     fn advance_program(&mut self, i: usize, start: SimTime) {
-        let mut t = start.max(self.nodes[i].cpu_free_at);
+        let l = i - self.base;
+        let mut t = start.max(self.rank[l].cpu_free_at);
         loop {
-            self.nodes[i].ctx.now = t;
-            let step = {
-                let cell = &mut self.nodes[i];
-                cell.program.next(&mut cell.ctx)
-            };
+            self.ctxs[l].now = t;
+            let step = self.programs[l].next(&mut self.ctxs[l]);
             match step {
                 Step::Busy(d) => {
-                    self.nodes[i]
-                        .trace
-                        .emit(TraceEvent::EngineState { state: "busy" });
+                    self.traces[l].emit(TraceEvent::EngineState { state: "busy" });
                     let end = t + d;
-                    let gen = self.nodes[i].gen;
-                    let event = self.queue.schedule(end, Ev::StepDone { node: i, gen });
-                    self.nodes[i].state = NodeState::Busy { charge: d, event };
-                    self.nodes[i].cpu_free_at = end;
+                    let gen = self.rank[l].gen;
+                    let event = self.sched(i, end, Ev::StepDone { node: i, gen });
+                    self.rank[l].state = NodeState::Busy { charge: d, event };
+                    self.rank[l].cpu_free_at = end;
                     return;
                 }
                 Step::WindowStart => {
-                    self.nodes[i].meter.window_start();
+                    self.meters[l].window_start();
                 }
                 Step::WindowStop => {
-                    let w = self.nodes[i].meter.window_stop();
-                    self.nodes[i].ctx.last_window = Some(w);
+                    let w = self.meters[l].window_stop();
+                    self.ctxs[l].last_window = Some(w);
                 }
                 Step::Done => {
-                    self.nodes[i]
-                        .trace
-                        .emit(TraceEvent::EngineState { state: "done" });
-                    self.nodes[i].state = NodeState::Done;
-                    self.nodes[i].gen += 1;
+                    self.traces[l].emit(TraceEvent::EngineState { state: "done" });
+                    self.rank[l].state = NodeState::Done;
+                    self.rank[l].gen += 1;
                     self.done_count += 1;
                     return;
                 }
@@ -809,33 +760,31 @@ impl<E: MessageEngine> DesDriver<E> {
                     dtype,
                     data,
                 } => {
-                    let comm = self.nodes[i].engine.world();
-                    let req = self.nodes[i]
-                        .engine
-                        .ireduce_split(&comm, root, op, dtype, &data);
+                    let comm = self.engines[l].world();
+                    let req = self.engines[l].ireduce_split(&comm, root, op, dtype, &data);
                     t = self.finish_call(i, t);
-                    self.nodes[i].split_req = Some(req);
+                    self.rank[l].split_req = Some(req);
                     // Not a blocking call: fall through to the next step.
                 }
                 Step::BcastSplit { root, data, len } => {
-                    let comm = self.nodes[i].engine.world();
-                    let req = self.nodes[i].engine.ibcast_split(&comm, root, data, len);
+                    let comm = self.engines[l].world();
+                    let req = self.engines[l].ibcast_split(&comm, root, data, len);
                     t = self.finish_call(i, t);
-                    self.nodes[i].split_req = Some(req);
+                    self.rank[l].split_req = Some(req);
                     // Not a blocking call: fall through to the next step.
                 }
                 Step::WaitSplit => {
-                    let Some(req) = self.nodes[i].split_req.take() else {
+                    let Some(req) = self.rank[l].split_req.take() else {
                         continue;
                     };
-                    if !self.nodes[i].engine.test(req) {
+                    if !self.engines[l].test(req) {
                         // Entering the wait triggers a progress pass, which
                         // drains packets that landed during application
                         // compute.
-                        self.nodes[i].engine.progress();
+                        self.engines[l].progress();
                         t = self.finish_call(i, t);
                     }
-                    if self.nodes[i].engine.test(req) {
+                    if self.engines[l].test(req) {
                         self.consume_outcome(i, req);
                         continue;
                     }
@@ -846,18 +795,18 @@ impl<E: MessageEngine> DesDriver<E> {
                     // Blocking operations.
                     let req = self.post_blocking(i, step);
                     t = self.finish_call(i, t);
-                    if !self.nodes[i].engine.test(req) {
+                    if !self.engines[l].test(req) {
                         // Entering a blocking call triggers the progress
                         // engine (Fig. 4 left entry): packets that arrived
                         // while the application was computing get matched
                         // before the node settles into its poll loop.
-                        self.nodes[i].engine.progress();
+                        self.engines[l].progress();
                         t = self.finish_call(i, t);
                     }
-                    if self.nodes[i].engine.test(req) {
+                    if self.engines[l].test(req) {
                         self.consume_outcome(i, req);
                         self.maybe_synth_signal(i, t);
-                        t = t.max(self.nodes[i].cpu_free_at);
+                        t = t.max(self.rank[l].cpu_free_at);
                         continue;
                     }
                     self.block_on(i, req, t);
@@ -867,13 +816,13 @@ impl<E: MessageEngine> DesDriver<E> {
         }
     }
 
-    /// Enter the blocked state on `req` at time `t`. Returns true if the
-    /// request completed synchronously after all (never happens today, but
-    /// keeps the call site honest).
-    fn block_on(&mut self, i: usize, req: ReqId, t: SimTime) -> bool {
-        let deadline_event = self.nodes[i].engine.bounded_block_hint(req).map(|budget| {
-            let gen = self.nodes[i].gen;
-            self.queue.schedule(
+    /// Enter the blocked state on `req` at time `t`.
+    fn block_on(&mut self, i: usize, req: ReqId, t: SimTime) {
+        let budget = self.engines[i - self.base].bounded_block_hint(req);
+        let deadline_event = budget.map(|budget| {
+            let gen = self.rank[i - self.base].gen;
+            self.sched(
+                i,
                 t + budget,
                 Ev::Deadline {
                     node: i,
@@ -882,21 +831,20 @@ impl<E: MessageEngine> DesDriver<E> {
                 },
             )
         });
-        self.nodes[i]
-            .trace
-            .emit(TraceEvent::EngineState { state: "blocked" });
-        self.nodes[i].state = NodeState::Blocked {
+        let l = i - self.base;
+        self.traces[l].emit(TraceEvent::EngineState { state: "blocked" });
+        self.rank[l].state = NodeState::Blocked {
             req,
             deadline_event,
         };
-        self.nodes[i].poll_from = t;
-        self.nodes[i].cpu_free_at = t;
-        false
+        self.rank[l].poll_from = t;
+        self.rank[l].cpu_free_at = t;
     }
 
     fn post_blocking(&mut self, i: usize, step: Step) -> ReqId {
-        let comm = self.nodes[i].engine.world();
-        let e = &mut self.nodes[i].engine;
+        let l = i - self.base;
+        let comm = self.engines[l].world();
+        let e = &mut self.engines[l];
         match step {
             Step::Reduce {
                 root,
@@ -910,6 +858,521 @@ impl<E: MessageEngine> DesDriver<E> {
             Step::Send { dst, tag, data } => e.isend(&comm, dst, tag, data),
             Step::Recv { src, tag, cap } => e.irecv(&comm, Some(src), TagSel::Is(tag), cap),
             other => unreachable!("not a blocking step: {other:?}"),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Executors
+    // ------------------------------------------------------------------
+
+    fn dispatch(&mut self, ev: Ev, at: SimTime) {
+        match ev {
+            Ev::Deliver { node, pkt } => self.on_deliver(node, pkt, at),
+            Ev::StepDone { node, gen } => self.on_step_done(node, gen, at),
+            Ev::Deadline { node, req, gen } => self.on_deadline(node, req, gen, at),
+            Ev::Kick { node } => self.on_kick(node, at),
+            Ev::RelTick { node } => self.on_rel_tick(node, at),
+        }
+    }
+
+    /// Bootstrap every owned program at time zero.
+    fn init_programs(&mut self) {
+        for l in 0..self.len() {
+            self.advance_program(self.base + l, SimTime::ZERO);
+        }
+    }
+
+    /// Process every pending event strictly before `horizon` (all of them
+    /// when `horizon` is `None`). Cross-shard sends accumulate in the
+    /// outbox.
+    fn run_window(&mut self, horizon: Option<SimTime>, max_events: u64) {
+        loop {
+            if let Some(h) = horizon {
+                match self.queue.peek_coord() {
+                    Some((at, _)) if at < h => {}
+                    _ => return,
+                }
+            }
+            let Some(ev) = self.queue.pop() else { return };
+            self.events += 1;
+            assert!(self.events <= max_events, "event cap exceeded: livelock?");
+            let at = ev.at;
+            self.dispatch(ev.payload, at);
+        }
+    }
+
+    fn panic_deadlock(&self) -> ! {
+        let stuck: Vec<usize> = self
+            .rank
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| !matches!(c.state, NodeState::Done))
+            .map(|(l, _)| self.base + l)
+            .collect();
+        panic!("DES deadlock: nodes {stuck:?} never finished");
+    }
+
+    /// The historical sequential loop: pop until every program is done,
+    /// panic on deadlock. Byte-identical to the pre-arena driver.
+    fn run_seq(&mut self, max_events: u64) {
+        let n = self.len();
+        self.init_programs();
+        while self.done_count < n {
+            let Some(ev) = self.queue.pop() else {
+                self.panic_deadlock();
+            };
+            self.events += 1;
+            assert!(self.events <= max_events, "event cap exceeded: livelock?");
+            let at = ev.at;
+            self.dispatch(ev.payload, at);
+        }
+    }
+
+    /// Split this core's rank arenas into `starts.len()` contiguous shard
+    /// cores (`starts[s]` = first global rank of shard `s`), leaving this
+    /// core empty. Shards get fresh queues and networks; `hw` (read-only)
+    /// is replicated.
+    fn split(&mut self, starts: &[usize]) -> Vec<Core<E, P>> {
+        let mut cores: Vec<Core<E, P>> = Vec::with_capacity(starts.len());
+        for &start in starts.iter().rev() {
+            let key_ctr = self.key_ctr.split_off(start);
+            cores.push(Core {
+                base: start,
+                queue: EventQueue::new(),
+                network: Network::new(self.network.cost().clone()),
+                engines: self.engines.split_off(start),
+                programs: self.programs.split_off(start),
+                signals: self.signals.split_off(start),
+                meters: self.meters.split_off(start),
+                ctxs: self.ctxs.split_off(start),
+                rank: self.rank.split_off(start),
+                traces: self.traces.split_off(start),
+                hw: self.hw.clone(),
+                wire_seq: FxHashMap::default(),
+                done_count: 0,
+                packets_delivered: 0,
+                events: 0,
+                timeline: None,
+                action_scratch: Vec::new(),
+                faults: None,
+                keyed: true,
+                key_ctr,
+                outbox: Vec::new(),
+            });
+        }
+        cores.reverse();
+        cores
+    }
+
+    /// Re-absorb shard cores (in shard order) after a parallel run,
+    /// restoring the rank arenas in global order and summing counters.
+    /// Returns the latest virtual time any shard reached.
+    fn absorb_shards(&mut self, cores: Vec<Core<E, P>>) -> SimTime {
+        let mut latest = SimTime::ZERO;
+        for c in cores {
+            debug_assert_eq!(c.base, self.base + self.len(), "shards out of order");
+            self.engines.extend(c.engines);
+            self.programs.extend(c.programs);
+            self.signals.extend(c.signals);
+            self.meters.extend(c.meters);
+            self.ctxs.extend(c.ctxs);
+            self.rank.extend(c.rank);
+            self.traces.extend(c.traces);
+            self.key_ctr.extend(c.key_ctr);
+            self.done_count += c.done_count;
+            self.packets_delivered += c.packets_delivered;
+            self.events += c.events;
+            self.network.absorb(&c.network);
+            for (k, v) in c.wire_seq {
+                self.wire_seq.insert(k, v);
+            }
+            latest = latest.max(c.queue.now());
+        }
+        latest
+    }
+
+    /// Worker-side window report: drained outbox plus queue status.
+    fn report(&mut self) -> Rep {
+        Rep {
+            outbox: std::mem::take(&mut self.outbox),
+            next: self.queue.peek_coord(),
+            events: self.events,
+            done: self.done_count,
+        }
+    }
+}
+
+/// The discrete-event driver. See module docs. Generic over the engine `E`
+/// and the program type `P`; `P` defaults to `Box<dyn Program>` so
+/// heterogeneous (type-erased) program lists keep working unchanged.
+pub struct DesDriver<E: MessageEngine, P: Program = Box<dyn Program>> {
+    core: Core<E, P>,
+    max_events: u64,
+    /// Total packets delivered (synced from the core after each run).
+    pub packets_delivered: u64,
+    tracer: Option<Arc<dyn Tracer>>,
+    /// Latest virtual time reached by any shard of a parallel run;
+    /// [`DesDriver::now`] folds it into the sequential queue clock.
+    now_floor: SimTime,
+    started: bool,
+}
+
+impl<E: MessageEngine, P: Program> DesDriver<E, P> {
+    /// Build a driver for `spec`, constructing one engine per rank with
+    /// `make_engine` and running `programs[rank]` on it.
+    pub fn new(
+        spec: &ClusterSpec,
+        make_engine: impl FnMut(u32, EngineConfig) -> E,
+        programs: Vec<P>,
+    ) -> Self {
+        Self::new_tuned(spec, make_engine, programs, |_| {})
+    }
+
+    /// [`DesDriver::new`] with a hook to adjust the derived [`EngineConfig`]
+    /// before engines are built (e.g. `shared_schedules = false` to emulate
+    /// the pre-registry per-engine schedule builds in the scale benchmark).
+    pub fn new_tuned(
+        spec: &ClusterSpec,
+        mut make_engine: impl FnMut(u32, EngineConfig) -> E,
+        programs: Vec<P>,
+        tune: impl FnOnce(&mut EngineConfig),
+    ) -> Self {
+        let n = spec.len();
+        assert_eq!(programs.len(), n, "one program per rank");
+        assert!(n >= 1);
+        let mut config = EngineConfig {
+            cost: spec.cost.clone(),
+            eager_limit: spec.eager_limit,
+            memory_budget: None,
+            allreduce_rs_threshold: 2048,
+            topology: spec.topology,
+            shared_schedules: true,
+        };
+        tune(&mut config);
+        let core = Core {
+            base: 0,
+            queue: EventQueue::new(),
+            network: Network::new(spec.cost.clone()),
+            engines: (0..n)
+                .map(|i| make_engine(i as u32, config.clone()))
+                .collect(),
+            programs,
+            signals: (0..n).map(|_| SignalControl::new()).collect(),
+            meters: (0..n).map(|_| CpuMeter::new()).collect(),
+            ctxs: (0..n).map(|_| StepCtx::new()).collect(),
+            rank: (0..n).map(|_| RankState::fresh()).collect(),
+            traces: vec![TraceHandle::default(); n],
+            hw: spec.nodes.clone(),
+            wire_seq: FxHashMap::default(),
+            done_count: 0,
+            packets_delivered: 0,
+            events: 0,
+            timeline: None,
+            action_scratch: Vec::new(),
+            faults: None,
+            keyed: false,
+            key_ctr: vec![0; n],
+            outbox: Vec::new(),
+        };
+        DesDriver {
+            core,
+            max_events: 2_000_000_000,
+            packets_delivered: 0,
+            tracer: None,
+            now_floor: SimTime::ZERO,
+            started: false,
+        }
+    }
+
+    /// Wire a [`Tracer`] through the whole stack: each rank's CPU meter,
+    /// engine, signal control and (when faults are installed) reliability
+    /// layer gets a per-rank handle, the network emits per-segment wire
+    /// charges, and the event queue publishes virtual time to the recorder
+    /// on every pop. With no tracer installed every one of those sites is a
+    /// single `Option` branch (cost neutrality, like [`FaultPlan::none`]).
+    pub fn install_tracer(&mut self, tracer: Arc<dyn Tracer>) {
+        let core = &mut self.core;
+        core.queue.set_tracer(TraceHandle::new(tracer.clone(), 0));
+        core.network.set_tracer(TraceHandle::new(tracer.clone(), 0));
+        for l in 0..core.len() {
+            let h = TraceHandle::new(tracer.clone(), l as u32);
+            core.meters[l].set_tracer(h.clone());
+            core.signals[l].set_tracer(h.clone());
+            core.engines[l].set_tracer(h.clone());
+            core.traces[l] = h;
+        }
+        if let Some(f) = &mut core.faults {
+            f.injector.set_tracer(TraceHandle::new(tracer.clone(), 0));
+            for (i, r) in f.rel.iter_mut().enumerate() {
+                r.set_tracer(TraceHandle::new(tracer.clone(), i as u32));
+            }
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// Install a fault plan and the reliability layer that tolerates it.
+    /// A [`FaultPlan::none`] plan is a no-op: the driver keeps its
+    /// fault-free hot paths and pays nothing.
+    pub fn set_faults(&mut self, plan: &FaultPlan, rel_cfg: RelConfig) {
+        if plan.is_none() {
+            return;
+        }
+        let n = self.core.len();
+        let mut state = FaultState {
+            injector: FaultInjector::new(plan.clone()),
+            rel: (0..n)
+                .map(|i| NodeReliability::new(i as u32, rel_cfg))
+                .collect(),
+            tick: vec![None; n],
+        };
+        if let Some(tracer) = &self.tracer {
+            state
+                .injector
+                .set_tracer(TraceHandle::new(tracer.clone(), 0));
+            for (i, r) in state.rel.iter_mut().enumerate() {
+                r.set_tracer(TraceHandle::new(tracer.clone(), i as u32));
+            }
+        }
+        self.core.faults = Some(state);
+    }
+
+    /// Aggregate reliability-layer counters across all nodes, if the fault
+    /// layer is active.
+    pub fn rel_stats(&self) -> Option<RelStats> {
+        self.core.faults.as_ref().map(|f| {
+            let mut total = RelStats::default();
+            for r in &f.rel {
+                total.merge(&r.stats());
+            }
+            total
+        })
+    }
+
+    /// Record a timeline of per-node activity spans (off by default; it
+    /// costs memory proportional to the event count).
+    pub fn with_timeline(mut self) -> Self {
+        self.core.timeline = Some(Vec::new());
+        self
+    }
+
+    /// The recorded timeline, if enabled.
+    pub fn timeline(&self) -> Option<&[TimelineEvent]> {
+        self.core.timeline.as_deref()
+    }
+
+    /// Cap the number of events (runaway protection in tests).
+    pub fn with_max_events(mut self, max: u64) -> Self {
+        self.max_events = max;
+        self
+    }
+
+    /// Run to completion (every program `Done`) on the sequential executor.
+    ///
+    /// # Panics
+    /// Panics on deadlock (event queue drained with programs unfinished) or
+    /// on exceeding the event cap.
+    pub fn run(&mut self) {
+        self.started = true;
+        self.core.run_seq(self.max_events);
+        self.packets_delivered = self.core.packets_delivered;
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.core.queue.now().max(self.now_floor)
+    }
+
+    /// Events processed so far (summed across shards after a parallel run).
+    pub fn events_processed(&self) -> u64 {
+        self.core.events
+    }
+
+    /// The network (post-run statistics).
+    pub fn network(&self) -> &Network {
+        &self.core.network
+    }
+
+    /// Extract per-node results.
+    pub fn results(&self) -> Vec<NodeResult> {
+        let core = &self.core;
+        (0..core.len())
+            .map(|l| NodeResult {
+                obs: core.ctxs[l].obs.clone(),
+                cpu_app_us: core.meters[l]
+                    .category(CpuCategory::Application)
+                    .as_us_f64(),
+                cpu_poll_us: core.meters[l].category(CpuCategory::Polling).as_us_f64(),
+                cpu_protocol_us: core.meters[l].category(CpuCategory::Protocol).as_us_f64(),
+                cpu_signal_us: core.meters[l]
+                    .category(CpuCategory::SignalHandler)
+                    .as_us_f64(),
+                cpu_nic_us: core.meters[l].category(CpuCategory::NicOffload).as_us_f64(),
+                signals_raised: core.signals[l].raised() + core.rank[l].synth_signals,
+                signals_suppressed_busy: core.signals[l].suppressed_progress_underway(),
+                counters: core.engines[l].counters(),
+            })
+            .collect()
+    }
+}
+
+impl<E: MessageEngine + Send, P: Program> DesDriver<E, P> {
+    /// Run to completion on the parallel-in-one-run conservative executor:
+    /// ranks are partitioned into `shards` contiguous regions, each advanced
+    /// by its own worker between synchronization horizons `T + L` (`T` =
+    /// globally earliest pending event, `L` = the cost model's minimum
+    /// delivery latency). Results are identical for every shard count; see
+    /// the module docs for the determinism argument.
+    ///
+    /// Unlike [`DesDriver::run`], the parallel executor drains *all* events
+    /// (stray deliveries to finished nodes included) rather than stopping at
+    /// the instant the last program finishes — a partition-independent
+    /// stopping rule. Figures derived from per-node results are unaffected.
+    ///
+    /// # Panics
+    /// Panics if the driver has already run, or if fault injection, tracing,
+    /// or the timeline is installed (their state is inherently order-
+    /// dependent; use the sequential executor — [`DesDriver::run_auto`]
+    /// falls back automatically).
+    pub fn run_sharded(&mut self, shards: usize) {
+        assert!(!self.started, "run_sharded requires a fresh driver");
+        self.started = true;
+        assert!(
+            self.core.faults.is_none(),
+            "parallel execution does not support fault injection; use run()"
+        );
+        assert!(
+            self.tracer.is_none(),
+            "parallel execution does not support tracing; use run()"
+        );
+        assert!(
+            self.core.timeline.is_none(),
+            "parallel execution does not support the timeline; use run()"
+        );
+        let n = self.core.len();
+        let shards = shards.clamp(1, n);
+        let max_events = self.max_events;
+        self.core.keyed = true;
+        if shards == 1 {
+            // Same keyed order and same full-drain stopping rule as the
+            // multi-shard path, without the worker machinery.
+            self.core.init_programs();
+            self.core.run_window(None, max_events);
+            if self.core.done_count < n {
+                self.core.panic_deadlock();
+            }
+            self.now_floor = self.core.queue.now();
+            self.packets_delivered = self.core.packets_delivered;
+            return;
+        }
+        let lookahead = self.core.network.min_delivery_delay(&self.core.hw);
+        assert!(
+            !lookahead.is_zero(),
+            "cost model has zero minimum delivery latency; no conservative lookahead exists"
+        );
+        // Contiguous region partition: shard s owns starts[s]..starts[s+1].
+        let starts: Vec<usize> = (0..shards).map(|s| s * n / shards).collect();
+        let cores = self.core.split(&starts);
+        let cores = std::thread::scope(|scope| {
+            let mut txs = Vec::with_capacity(shards);
+            let mut rxs = Vec::with_capacity(shards);
+            let mut handles = Vec::with_capacity(shards);
+            for mut core in cores {
+                let (cmd_tx, cmd_rx) = mpsc::channel::<Cmd>();
+                let (rep_tx, rep_rx) = mpsc::channel::<Rep>();
+                handles.push(scope.spawn(move || {
+                    core.init_programs();
+                    rep_tx.send(core.report()).expect("coordinator alive");
+                    while let Ok(cmd) = cmd_rx.recv() {
+                        match cmd {
+                            Cmd::Window { horizon, inbox } => {
+                                for m in inbox {
+                                    core.queue.schedule_keyed(
+                                        m.at,
+                                        m.key,
+                                        Ev::Deliver {
+                                            node: m.dst,
+                                            pkt: m.pkt,
+                                        },
+                                    );
+                                }
+                                core.run_window(Some(horizon), max_events);
+                                rep_tx.send(core.report()).expect("coordinator alive");
+                            }
+                            Cmd::Finish => break,
+                        }
+                    }
+                    core
+                }));
+                txs.push(cmd_tx);
+                rxs.push(rep_rx);
+            }
+            let mut inboxes: Vec<Vec<OutMsg>> = (0..shards).map(|_| Vec::new()).collect();
+            loop {
+                let mut reps: Vec<Rep> = rxs
+                    .iter()
+                    .map(|rx| rx.recv().expect("worker alive"))
+                    .collect();
+                let total_events: u64 = reps.iter().map(|r| r.events).sum();
+                assert!(total_events <= max_events, "event cap exceeded: livelock?");
+                let done: usize = reps.iter().map(|r| r.done).sum();
+                let mut t_min: Option<(SimTime, u64)> = reps.iter().filter_map(|r| r.next).min();
+                for rep in &mut reps {
+                    for m in rep.outbox.drain(..) {
+                        let coord = (m.at, m.key);
+                        t_min = Some(match t_min {
+                            Some(b) if b <= coord => b,
+                            _ => coord,
+                        });
+                        let s = starts.partition_point(|&b| b <= m.dst) - 1;
+                        inboxes[s].push(m);
+                    }
+                }
+                let Some((t0, _)) = t_min else {
+                    if done < n {
+                        panic!("DES deadlock: {done}/{n} programs finished with no events pending");
+                    }
+                    break;
+                };
+                let horizon = t0 + lookahead;
+                for (s, tx) in txs.iter().enumerate() {
+                    tx.send(Cmd::Window {
+                        horizon,
+                        inbox: std::mem::take(&mut inboxes[s]),
+                    })
+                    .expect("worker alive");
+                }
+            }
+            for tx in &txs {
+                tx.send(Cmd::Finish).expect("worker alive");
+            }
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        self.now_floor = self.core.absorb_shards(cores);
+        self.packets_delivered = self.core.packets_delivered;
+        assert_eq!(self.core.done_count, n, "absorbed shards lost completions");
+    }
+
+    /// Dispatch on the `ABR_DES_SHARDS` environment knob: run the parallel
+    /// executor with that many shards when set (and no order-dependent
+    /// instrumentation — faults, tracer, timeline — is installed), the
+    /// sequential executor otherwise. Invalid values fail fast, naming the
+    /// variable.
+    pub fn run_auto(&mut self) {
+        let shards =
+            abr_trace::parse_env("ABR_DES_SHARDS", |raw| match raw.trim().parse::<usize>() {
+                Ok(0) | Err(_) => Err(format!(
+                    "ABR_DES_SHARDS: expected a positive shard count, got {raw:?}"
+                )),
+                Ok(s) => Ok(s),
+            });
+        let sequential_only =
+            self.core.faults.is_some() || self.tracer.is_some() || self.core.timeline.is_some();
+        match shards {
+            Some(s) if !sequential_only => self.run_sharded(s),
+            _ => self.run(),
         }
     }
 }

@@ -709,6 +709,7 @@ pub fn run_live_traced<R: Send>(
                 memory_budget: None,
                 allreduce_rs_threshold: 2048,
                 topology: spec.topology,
+                shared_schedules: true,
             };
             let mut state = RankState {
                 eng: AbEngine::new(r, n, config, ab.clone()),

@@ -282,29 +282,36 @@ impl Program for SplitUtilProgram {
     }
 }
 
-fn cpu_util_programs(cfg: &CpuUtilConfig) -> Vec<Box<dyn Program>> {
-    let n = cfg.cluster.len() as u32;
+fn cpu_util_program(cfg: &CpuUtilConfig, rank: u32) -> CpuUtilProgram {
     let root_rng = StreamRng::root(cfg.seed);
-    (0..n)
-        .map(|rank| {
-            let base = CpuUtilProgram {
-                rank,
-                root: cfg.root,
-                elems: cfg.elems,
-                iters: cfg.iters,
-                max_skew_us: cfg.max_skew_us,
-                natural_jitter_us: cfg.natural_jitter_us,
-                catchup: SimDuration::from_us(cfg.max_skew_us + cfg.catchup_margin_us),
-                rng: root_rng.derive(&[0xBE7C, rank as u64]),
-                iter: 0,
-                phase: 0,
-                cur_skew: SimDuration::ZERO,
-            };
-            if matches!(cfg.mode, Mode::SplitPhase) {
-                Box::new(SplitUtilProgram { base }) as Box<dyn Program>
-            } else {
-                Box::new(base) as Box<dyn Program>
-            }
+    CpuUtilProgram {
+        rank,
+        root: cfg.root,
+        elems: cfg.elems,
+        iters: cfg.iters,
+        max_skew_us: cfg.max_skew_us,
+        natural_jitter_us: cfg.natural_jitter_us,
+        catchup: SimDuration::from_us(cfg.max_skew_us + cfg.catchup_margin_us),
+        rng: root_rng.derive(&[0xBE7C, rank as u64]),
+        iter: 0,
+        phase: 0,
+        cur_skew: SimDuration::ZERO,
+    }
+}
+
+/// Concrete (unboxed) program lists: every rank runs the same program
+/// type, so the driver monomorphizes over it and the per-step dispatch in
+/// `advance_program` is a direct call, not a vtable hop.
+fn cpu_util_programs(cfg: &CpuUtilConfig) -> Vec<CpuUtilProgram> {
+    (0..cfg.cluster.len() as u32)
+        .map(|rank| cpu_util_program(cfg, rank))
+        .collect()
+}
+
+fn split_util_programs(cfg: &CpuUtilConfig) -> Vec<SplitUtilProgram> {
+    (0..cfg.cluster.len() as u32)
+        .map(|rank| SplitUtilProgram {
+            base: cpu_util_program(cfg, rank),
         })
         .collect()
 }
@@ -361,9 +368,12 @@ fn aggregate_cpu(nodes: Vec<NodeResult>) -> CpuUtilResult {
 }
 
 /// Run a built driver to completion under the benchmark's fault plan and
-/// aggregate into a [`CpuUtilResult`].
-fn run_cpu_driver<E: abr_mpr::engine::MessageEngine>(
-    mut d: DesDriver<E>,
+/// aggregate into a [`CpuUtilResult`]. Dispatches through
+/// [`DesDriver::run_auto`], so `ABR_DES_SHARDS` selects the parallel
+/// executor for any benchmark run (the sequential executor remains the
+/// default, and the fallback whenever faults or a tracer are installed).
+fn run_cpu_driver<E: abr_mpr::engine::MessageEngine + Send, P: Program + Send>(
+    mut d: DesDriver<E, P>,
     faults: &FaultPlan,
     tracer: Option<Arc<dyn Tracer>>,
 ) -> CpuUtilResult {
@@ -371,7 +381,7 @@ fn run_cpu_driver<E: abr_mpr::engine::MessageEngine>(
         d.install_tracer(t);
     }
     d.set_faults(faults, RelConfig::sim_default());
-    d.run();
+    d.run_auto();
     let rel = d.rel_stats();
     let mut res = aggregate_cpu(d.results());
     res.rel = rel;
@@ -387,13 +397,12 @@ pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
 /// (see [`DesDriver::install_tracer`]); `None` is the cost-free default.
 pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>) -> CpuUtilResult {
     let n = cfg.cluster.len() as u32;
-    let programs = cpu_util_programs(cfg);
     match cfg.mode {
         Mode::Baseline => {
             let d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| Engine::new(rank, n, ec),
-                programs,
+                cpu_util_programs(cfg),
             );
             run_cpu_driver(d, &cfg.faults, tracer)
         }
@@ -412,7 +421,7 @@ pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>)
                         },
                     )
                 },
-                programs,
+                cpu_util_programs(cfg),
             );
             run_cpu_driver(d, &cfg.faults, tracer)
         }
@@ -431,7 +440,7 @@ pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>)
                         },
                     )
                 },
-                programs,
+                split_util_programs(cfg),
             );
             run_cpu_driver(d, &cfg.faults, tracer)
         }
@@ -439,7 +448,7 @@ pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>)
             let d = DesDriver::new(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, AbConfig::nic_offload()),
-                programs,
+                cpu_util_programs(cfg),
             );
             run_cpu_driver(d, &cfg.faults, tracer)
         }
@@ -541,24 +550,22 @@ pub fn run_bcast_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
     let n = cfg.cluster.len() as u32;
     let split = !matches!(cfg.mode, Mode::Baseline);
     let root_rng = StreamRng::root(cfg.seed);
-    let programs: Vec<Box<dyn Program>> = (0..n)
-        .map(|rank| {
-            Box::new(BcastUtilProgram {
-                base: CpuUtilProgram {
-                    rank,
-                    root: cfg.root,
-                    elems: cfg.elems,
-                    iters: cfg.iters,
-                    max_skew_us: cfg.max_skew_us,
-                    natural_jitter_us: cfg.natural_jitter_us,
-                    catchup: SimDuration::from_us(cfg.max_skew_us + cfg.catchup_margin_us),
-                    rng: root_rng.derive(&[0xBCA7, rank as u64]),
-                    iter: 0,
-                    phase: 0,
-                    cur_skew: SimDuration::ZERO,
-                },
-                split,
-            }) as Box<dyn Program>
+    let programs: Vec<BcastUtilProgram> = (0..n)
+        .map(|rank| BcastUtilProgram {
+            base: CpuUtilProgram {
+                rank,
+                root: cfg.root,
+                elems: cfg.elems,
+                iters: cfg.iters,
+                max_skew_us: cfg.max_skew_us,
+                natural_jitter_us: cfg.natural_jitter_us,
+                catchup: SimDuration::from_us(cfg.max_skew_us + cfg.catchup_margin_us),
+                rng: root_rng.derive(&[0xBCA7, rank as u64]),
+                iter: 0,
+                phase: 0,
+                cur_skew: SimDuration::ZERO,
+            },
+            split,
         })
         .collect();
     let ab = if split {
@@ -709,20 +716,18 @@ pub fn run_app_bench(cfg: &AppBenchConfig) -> AppBenchResult {
     let n = cfg.cluster.len() as u32;
     let split = matches!(cfg.mode, Mode::SplitPhase);
     let root_rng = StreamRng::root(cfg.seed);
-    let programs: Vec<Box<dyn Program>> = (0..n)
-        .map(|rank| {
-            Box::new(AppProgram {
-                rank,
-                sweeps: cfg.sweeps,
-                compute_us: cfg.compute_us,
-                imbalance: cfg.imbalance,
-                elems: cfg.elems,
-                split,
-                rng: root_rng.derive(&[0xA99, rank as u64]),
-                sweep: 0,
-                phase: 0,
-                posted: false,
-            }) as Box<dyn Program>
+    let programs: Vec<AppProgram> = (0..n)
+        .map(|rank| AppProgram {
+            rank,
+            sweeps: cfg.sweeps,
+            compute_us: cfg.compute_us,
+            imbalance: cfg.imbalance,
+            elems: cfg.elems,
+            split,
+            rng: root_rng.derive(&[0xA99, rank as u64]),
+            sweep: 0,
+            phase: 0,
+            posted: false,
         })
         .collect();
     let finish = |nodes: Vec<crate::driver::NodeResult>, makespan: f64| {
@@ -745,7 +750,7 @@ pub fn run_app_bench(cfg: &AppBenchConfig) -> AppBenchResult {
                 programs,
             );
             d.set_faults(&cfg.faults, RelConfig::sim_default());
-            d.run();
+            d.run_auto();
             let makespan = d.now().as_us_f64();
             finish(d.results(), makespan)
         }
@@ -765,7 +770,7 @@ pub fn run_app_bench(cfg: &AppBenchConfig) -> AppBenchResult {
                 programs,
             );
             d.set_faults(&cfg.faults, RelConfig::sim_default());
-            d.run();
+            d.run_auto();
             let makespan = d.now().as_us_f64();
             finish(d.results(), makespan)
         }
@@ -990,7 +995,7 @@ impl Program for LatencyProgram {
     }
 }
 
-fn latency_programs(cfg: &LatencyConfig) -> Vec<Box<dyn Program>> {
+fn latency_programs(cfg: &LatencyConfig) -> Vec<LatencyProgram> {
     let n = cfg.cluster.len() as u32;
     // Topology-aware: the deepest rank of the configured tree, not the
     // binomial popcount rule.
@@ -1004,7 +1009,7 @@ fn latency_programs(cfg: &LatencyConfig) -> Vec<Box<dyn Program>> {
             } else {
                 LatRole::Other
             };
-            Box::new(LatencyProgram {
+            LatencyProgram {
                 role,
                 elems: cfg.elems,
                 iters: cfg.iters,
@@ -1016,7 +1021,7 @@ fn latency_programs(cfg: &LatencyConfig) -> Vec<Box<dyn Program>> {
                 t_mark: SimTime::ZERO,
                 rtt_sum: 0.0,
                 one_way_us: 0.0,
-            }) as Box<dyn Program>
+            }
         })
         .collect()
 }
@@ -1053,7 +1058,7 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyResult {
                 programs,
             );
             d.set_faults(&cfg.faults, RelConfig::sim_default());
-            d.run();
+            d.run_auto();
             aggregate_latency(d.results())
         }
         Mode::Bypass(_) | Mode::SplitPhase | Mode::NicBypass => {
@@ -1079,8 +1084,113 @@ pub fn run_latency(cfg: &LatencyConfig) -> LatencyResult {
                 programs,
             );
             d.set_faults(&cfg.faults, RelConfig::sim_default());
-            d.run();
+            d.run_auto();
             aggregate_latency(d.results())
         }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Scale benchmark (events/sec at large rank counts)
+// ---------------------------------------------------------------------
+
+/// Which executor [`run_scale_bench`] drives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScaleExec {
+    /// The sequential executor ([`DesDriver::run`]).
+    Sequential,
+    /// The parallel conservative executor with this many shards
+    /// ([`DesDriver::run_sharded`]).
+    Sharded(usize),
+}
+
+/// One timed scale-benchmark run.
+#[derive(Debug, Clone)]
+pub struct ScaleRunResult {
+    /// Cluster size.
+    pub ranks: u32,
+    /// DES events processed.
+    pub events: u64,
+    /// Wall-clock seconds, from driver construction through run completion
+    /// (engine construction and lazy schedule builds included — at scale
+    /// those *are* the hot path being measured).
+    pub wall_secs: f64,
+    /// The headline throughput metric.
+    pub events_per_sec: f64,
+    /// Virtual makespan (µs).
+    pub makespan_us: f64,
+    /// Mean per-reduction CPU µs (the figure metric, as a sanity anchor).
+    pub mean_cpu_us: f64,
+    /// Packets delivered.
+    pub packets_delivered: u64,
+}
+
+/// Time the baseline-engine CPU-utilization workload at `n` ranks and
+/// report DES throughput (events/sec).
+///
+/// `legacy = true` emulates the pre-arena driver for before/after
+/// comparisons: type-erased `Box<dyn Program>` programs (a vtable hop per
+/// step) and `shared_schedules = false` (every engine builds its own
+/// O(n) topology schedule, the per-engine cost that made 64k-rank runs
+/// infeasible). `legacy` forces the sequential executor; `exec` picks the
+/// executor for the modern path.
+pub fn run_scale_bench(n: u32, iters: u64, legacy: bool, exec: ScaleExec) -> ScaleRunResult {
+    let cfg = CpuUtilConfig {
+        elems: 4,
+        max_skew_us: 200,
+        iters,
+        ..CpuUtilConfig::new(ClusterSpec::heterogeneous(n), Mode::Baseline)
+    };
+    let start = std::time::Instant::now();
+    let (events, makespan_us, packets, nodes) = if legacy {
+        let programs: Vec<Box<dyn Program>> = cpu_util_programs(&cfg)
+            .into_iter()
+            .map(|p| Box::new(p) as Box<dyn Program>)
+            .collect();
+        let mut d = DesDriver::new_tuned(
+            &cfg.cluster,
+            |rank, ec: EngineConfig| Engine::new(rank, n, ec),
+            programs,
+            |c| c.shared_schedules = false,
+        );
+        d.run();
+        (
+            d.events_processed(),
+            d.now().as_us_f64(),
+            d.packets_delivered,
+            d.results(),
+        )
+    } else {
+        let mut d = DesDriver::new(
+            &cfg.cluster,
+            |rank, ec: EngineConfig| Engine::new(rank, n, ec),
+            cpu_util_programs(&cfg),
+        );
+        match exec {
+            ScaleExec::Sequential => d.run(),
+            ScaleExec::Sharded(s) => d.run_sharded(s),
+        }
+        (
+            d.events_processed(),
+            d.now().as_us_f64(),
+            d.packets_delivered,
+            d.results(),
+        )
+    };
+    let wall_secs = start.elapsed().as_secs_f64();
+    let mut acc = Accumulator::new();
+    for node in &nodes {
+        for o in node.obs.iter().filter(|o| o.key == "cpu_util_us") {
+            acc.push(o.value);
+        }
+    }
+    ScaleRunResult {
+        ranks: n,
+        events,
+        wall_secs,
+        events_per_sec: events as f64 / wall_secs.max(1e-9),
+        makespan_us,
+        mean_cpu_us: acc.mean(),
+        packets_delivered: packets,
     }
 }

@@ -152,6 +152,16 @@ pub trait Program: Send {
     fn next(&mut self, ctx: &mut StepCtx) -> Step;
 }
 
+/// Boxed programs still run: this is the type-erased escape hatch for
+/// heterogeneous program lists. The driver is generic over `P: Program`
+/// precisely so hot loops can run *concrete* program types with no vtable
+/// hop; use a box only when ranks genuinely need different program types.
+impl Program for Box<dyn Program> {
+    fn next(&mut self, ctx: &mut StepCtx) -> Step {
+        (**self).next(ctx)
+    }
+}
+
 /// A program from a boxed closure — convenient for tests.
 pub struct FnProgram<F: FnMut(&mut StepCtx) -> Step + Send>(pub F);
 

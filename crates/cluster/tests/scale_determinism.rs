@@ -1,0 +1,160 @@
+//! Determinism of the parallel conservative executor: for any shard count
+//! the sharded run must produce *identical* results — per-node CPU meters,
+//! observations, signal counts, packet totals, and the final virtual clock
+//! — because every event carries a partition-independent
+//! `(origin, counter)` tie-break key and shards only advance inside
+//! provably safe lookahead windows.
+
+use abr_cluster::node::ClusterSpec;
+use abr_cluster::program::ScriptProgram;
+use abr_cluster::{DesDriver, Step};
+use abr_core::{AbConfig, AbEngine};
+use abr_des::{SimDuration, SimTime};
+use abr_mpr::engine::{Engine, EngineConfig};
+use abr_mpr::op::ReduceOp;
+use abr_mpr::types::{f64s_to_bytes, Datatype};
+
+/// A deterministic mixed workload: per-rank skewed compute, reductions to
+/// rotating roots, broadcasts, and barriers. `seed` varies the skew
+/// pattern, which varies which events collide in time.
+fn programs(n: u32, seed: u64) -> Vec<ScriptProgram> {
+    (0..n)
+        .map(|rank| {
+            let mut steps = Vec::new();
+            let mut x = seed
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+                .wrapping_add(rank as u64);
+            for round in 0..3u32 {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+                let skew_us = (x >> 33) % 400;
+                steps.push(Step::Busy(SimDuration::from_us(skew_us)));
+                steps.push(Step::Reduce {
+                    root: round % n,
+                    op: ReduceOp::Sum,
+                    dtype: Datatype::F64,
+                    data: f64s_to_bytes(&[rank as f64 + 1.0, round as f64]),
+                });
+                steps.push(Step::Bcast {
+                    root: 0,
+                    data: (rank == 0).then(|| f64s_to_bytes(&[round as f64; 4]).into()),
+                    len: 32,
+                });
+                steps.push(Step::Barrier);
+            }
+            ScriptProgram::new(steps)
+        })
+        .collect()
+}
+
+/// Everything a run can disagree on, in one comparable bundle.
+fn fingerprint(
+    d: &DesDriver<Engine, ScriptProgram>,
+) -> (Vec<abr_cluster::driver::NodeResult>, u64, SimTime) {
+    (d.results(), d.packets_delivered, d.now())
+}
+
+#[test]
+fn sharded_runs_identical_across_shard_counts() {
+    let n = 13u32; // odd: shards get unequal contiguous ranges
+    for seed in [1u64, 0xDEAD_BEEF, 42] {
+        let spec = ClusterSpec::heterogeneous(n);
+        let run = |shards: usize| {
+            let mut d = DesDriver::new(
+                &spec,
+                |r, ec: EngineConfig| Engine::new(r, n, ec),
+                programs(n, seed),
+            );
+            d.run_sharded(shards);
+            fingerprint(&d)
+        };
+        let one = run(1);
+        let two = run(2);
+        let eight = run(8);
+        assert_eq!(one, two, "seed {seed:#x}: 1 vs 2 shards diverged");
+        assert_eq!(one, eight, "seed {seed:#x}: 1 vs 8 shards diverged");
+    }
+}
+
+#[test]
+fn sharded_runs_identical_with_bypass_engine() {
+    // The signal-driven bypass engine exercises preemption (StepDone
+    // cancel/reschedule) and synthesized signals — the orderings most
+    // sensitive to tie-breaking.
+    let n = 12u32;
+    let spec = ClusterSpec::heterogeneous(n);
+    let run = |shards: usize| {
+        let mut d = DesDriver::new(
+            &spec,
+            |r, ec: EngineConfig| AbEngine::new(r, n, ec, AbConfig::default()),
+            programs(n, 7),
+        );
+        d.run_sharded(shards);
+        (d.results(), d.packets_delivered, d.now())
+    };
+    let one = run(1);
+    for shards in [2usize, 3, 8] {
+        assert_eq!(one, run(shards), "{shards} shards diverged from 1");
+    }
+}
+
+#[test]
+fn sharded_executor_rejects_reuse() {
+    let n = 4u32;
+    let spec = ClusterSpec::homogeneous_1000(n);
+    let mut d = DesDriver::new(
+        &spec,
+        |r, ec: EngineConfig| Engine::new(r, n, ec),
+        programs(n, 1),
+    );
+    d.run_sharded(2);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| d.run_sharded(2)));
+    assert!(err.is_err(), "a second run must be rejected");
+}
+
+#[test]
+fn shard_count_clamps_to_cluster_size() {
+    let n = 3u32;
+    let spec = ClusterSpec::homogeneous_1000(n);
+    let mut d = DesDriver::new(
+        &spec,
+        |r, ec: EngineConfig| Engine::new(r, n, ec),
+        programs(n, 2),
+    );
+    // More shards than ranks: clamps, still completes and matches.
+    d.run_sharded(16);
+    let mut d1 = DesDriver::new(
+        &spec,
+        |r, ec: EngineConfig| Engine::new(r, n, ec),
+        programs(n, 2),
+    );
+    d1.run_sharded(1);
+    assert_eq!(d.results(), d1.results());
+}
+
+/// Overflow regression at the 64k-rank target: one full binomial reduction
+/// across 65,536 ranks. Exercises rank indices near u16::MAX through the
+/// packet headers, the `(origin << 40)` key packing at the largest origin,
+/// and the arena indexing — any u16/u32 truncation in the path corrupts
+/// the tree and the run deadlocks or panics.
+#[test]
+fn reduce_completes_at_64k_ranks() {
+    let n = 65_536u32;
+    let spec = ClusterSpec::homogeneous_1000(n);
+    let programs: Vec<ScriptProgram> = (0..n)
+        .map(|rank| {
+            ScriptProgram::new(vec![Step::Reduce {
+                root: 0,
+                op: ReduceOp::Sum,
+                dtype: Datatype::F64,
+                data: f64s_to_bytes(&[rank as f64]),
+            }])
+        })
+        .collect();
+    let mut d = DesDriver::new(&spec, |r, ec: EngineConfig| Engine::new(r, n, ec), programs);
+    d.run_sharded(2);
+    assert_eq!(
+        d.packets_delivered, 65_535,
+        "binomial reduce delivers exactly n-1 contributions"
+    );
+    assert!(d.now() > SimTime::ZERO);
+}

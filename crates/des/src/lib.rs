@@ -40,12 +40,14 @@
 #![deny(missing_docs)]
 
 pub mod event;
+pub mod hash;
 pub mod meter;
 pub mod rng;
 pub mod stats;
 pub mod time;
 
-pub use event::{EventId, EventQueue, ScheduledEvent};
+pub use event::{EventId, EventQueue, ScheduledEvent, ShardedEventQueue};
+pub use hash::{FxHashMap, FxHashSet};
 pub use meter::{CpuMeter, CpuWindow};
 pub use rng::StreamRng;
 pub use stats::{Accumulator, Histogram};

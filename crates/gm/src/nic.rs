@@ -14,11 +14,11 @@
 //! per-(src,dst) FIFO delivery order that GM guarantees.
 
 use crate::cost::CostModel;
-use crate::packet::Packet;
-use abr_des::{SimDuration, SimTime};
+use crate::packet::{NodeId, Packet, PacketHeader, PacketKind};
+use abr_des::{FxHashMap, SimDuration, SimTime};
 use abr_trace::{TraceEvent, TraceHandle};
+use bytes::Bytes;
 use serde::{Deserialize, Serialize};
-use std::collections::HashMap;
 
 /// PCI bus class of a node.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -115,10 +115,10 @@ impl NodeHw {
 pub struct Network {
     cost: CostModel,
     /// Earliest next delivery time per (src, dst), enforcing FIFO order.
-    last_delivery: HashMap<(u32, u32), SimTime>,
+    last_delivery: FxHashMap<(u32, u32), SimTime>,
     /// When each source NIC's injection path frees up: a NIC DMAs one
     /// packet at a time, so bursts (e.g. a bcast root's fan-out) serialize.
-    tx_free: HashMap<u32, SimTime>,
+    tx_free: FxHashMap<u32, SimTime>,
     packets_carried: u64,
     bytes_carried: u64,
     trace: TraceHandle,
@@ -129,8 +129,8 @@ impl Network {
     pub fn new(cost: CostModel) -> Self {
         Network {
             cost,
-            last_delivery: HashMap::new(),
-            tx_free: HashMap::new(),
+            last_delivery: FxHashMap::default(),
+            tx_free: FxHashMap::default(),
             packets_carried: 0,
             bytes_carried: 0,
             trace: TraceHandle::default(),
@@ -233,6 +233,66 @@ impl Network {
             }
         }
         arrival
+    }
+
+    /// A strict lower bound on the delivery delay of *any* packet between
+    /// nodes drawn from `hws` — the conservative parallel executor's
+    /// lookahead. Computed as the raw path latency of a header-only packet
+    /// over the fastest pair of hardware classes present; FIFO serialization
+    /// and payload bytes only ever add to that.
+    pub fn min_delivery_delay(&self, hws: &[NodeHw]) -> SimDuration {
+        // Dedup the (few) hardware classes so this stays O(classes^2) even
+        // for 64k-rank clusters.
+        let mut classes: Vec<NodeHw> = Vec::new();
+        for hw in hws {
+            if !classes.iter().any(|c| c == hw) {
+                classes.push(*hw);
+            }
+        }
+        let probe = Packet::new(
+            PacketHeader {
+                src: NodeId(0),
+                dst: NodeId(0),
+                kind: PacketKind::Eager,
+                context: 0,
+                tag: 0,
+                coll_seq: 0,
+                coll_root: 0,
+                msg_len: 0,
+                wire_seq: 0,
+                rel_seq: 0,
+            },
+            Bytes::new(),
+        );
+        let mut best: Option<SimDuration> = None;
+        for src in &classes {
+            for dst in &classes {
+                let d = self.delivery_delay(src, dst, &probe);
+                best = Some(match best {
+                    Some(b) if b <= d => b,
+                    _ => d,
+                });
+            }
+        }
+        best.unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Fold another network's state into this one: counters sum, and the
+    /// FIFO floors / NIC-free times take the per-key maximum. Used when
+    /// merging the per-shard networks of a parallel run back into one (the
+    /// shards' key spaces are disjoint because each map entry is owned by
+    /// its source rank's shard, so the maximum is just a defensive union).
+    pub fn absorb(&mut self, other: &Network) {
+        self.packets_carried += other.packets_carried;
+        self.bytes_carried += other.bytes_carried;
+        for (&k, &v) in &other.last_delivery {
+            let e = self.last_delivery.entry(k).or_insert(v);
+            *e = (*e).max(v);
+        }
+        for (&k, &v) in &other.tx_free {
+            let e = self.tx_free.entry(k).or_insert(v);
+            *e = (*e).max(v);
+        }
     }
 
     /// Packets carried so far.
@@ -361,6 +421,43 @@ mod tests {
         // A different source is unaffected.
         let b = net.delivery_time(t0, &hw, &hw, &packet(5, 1, 1024));
         assert!(b < a3);
+    }
+
+    #[test]
+    fn min_delivery_delay_bounds_every_packet() {
+        let mut net = Network::new(CostModel::default());
+        let hws = [NodeHw::p3_700(), NodeHw::p3_1000(), NodeHw::p3_1000_l92()];
+        let lookahead = net.min_delivery_delay(&hws);
+        assert!(!lookahead.is_zero());
+        for (si, src) in hws.iter().enumerate() {
+            for dst in &hws {
+                for len in [0usize, 8, 1024, 64 * 1024] {
+                    let t0 = SimTime::from_us(50);
+                    let arrive = net.delivery_time(t0, src, dst, &packet(si as u32, 9, len));
+                    assert!(
+                        arrive >= t0 + lookahead,
+                        "packet arrived before the lookahead bound"
+                    );
+                }
+            }
+        }
+        assert_eq!(net.min_delivery_delay(&[]), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn absorb_sums_counters_and_unions_floors() {
+        let hw = NodeHw::p3_700();
+        let mut a = Network::new(CostModel::default());
+        let mut b = Network::new(CostModel::default());
+        let t1 = a.delivery_time(SimTime::ZERO, &hw, &hw, &packet(0, 1, 100));
+        let t2 = b.delivery_time(SimTime::from_us(5), &hw, &hw, &packet(2, 1, 50));
+        a.absorb(&b);
+        assert_eq!(a.packets_carried(), 2);
+        assert_eq!(a.bytes_carried(), (100 + 32 + 50 + 32) as u64);
+        // Floors from both halves survive the merge.
+        assert_eq!(a.last_delivery.get(&(0, 1)), Some(&t1));
+        assert_eq!(a.last_delivery.get(&(2, 1)), Some(&t2));
+        assert!(a.tx_free.contains_key(&0) && a.tx_free.contains_key(&2));
     }
 
     #[test]

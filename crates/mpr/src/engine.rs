@@ -63,6 +63,11 @@ pub struct EngineConfig {
     /// Tree family for reduce/bcast/allreduce schedules. The binomial
     /// default reproduces MPICH (and the pre-schedule engine) exactly.
     pub topology: TopologyKind,
+    /// Consult the process-global schedule registry (default) so all
+    /// engines share one `TopoSchedule` per shape. `false` restores the
+    /// pre-registry per-engine builds — `O(size)` memory and build time
+    /// *per rank* — and exists for the scale benchmark's baseline.
+    pub shared_schedules: bool,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +78,7 @@ impl Default for EngineConfig {
             memory_budget: None,
             allreduce_rs_threshold: 2048,
             topology: TopologyKind::Binomial,
+            shared_schedules: true,
         }
     }
 }
@@ -166,7 +172,11 @@ impl Engine {
             Some(b) => MemoryRegistry::with_budget(b),
             None => MemoryRegistry::unbounded(),
         };
-        let scheds = ScheduleCache::new(config.topology);
+        let scheds = if config.shared_schedules {
+            ScheduleCache::new(config.topology)
+        } else {
+            ScheduleCache::new_private(config.topology)
+        };
         Engine {
             rank,
             size,

@@ -22,7 +22,7 @@ use crate::tree;
 use crate::types::Rank;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// A tree family for reduction/broadcast collectives.
 ///
@@ -222,19 +222,29 @@ impl TopoSchedule {
             child_off.push(child_arr.len() as u32);
         }
         debug_assert_eq!(child_arr.len() as u32, size - 1, "not a spanning tree");
-        // Depth by walking parents; the tree property (every non-root has
-        // exactly one parent, acyclic) makes this terminate.
+        // Depth by BFS over the child CSR from the root: O(n) total. (The
+        // previous per-rank parent walk was O(n * depth) — quadratic for a
+        // chain, i.e. 4 * 10^9 steps at 65,536 ranks.)
         let mut depth = vec![0u32; n];
-        for (rank, slot) in depth.iter_mut().enumerate() {
-            let mut d = 0;
-            let mut cur = rank as u32;
-            while parent[cur as usize] != u32::MAX {
-                d += 1;
-                cur = parent[cur as usize];
-                debug_assert!(d <= size, "parent chain cycles at rank {rank}");
+        let mut frontier = vec![root];
+        let mut next = Vec::new();
+        let mut visited = 1u32;
+        let mut level = 0u32;
+        while !frontier.is_empty() {
+            level += 1;
+            for &rank in &frontier {
+                let lo = child_off[rank as usize] as usize;
+                let hi = child_off[rank as usize + 1] as usize;
+                for &child in &child_arr[lo..hi] {
+                    depth[child as usize] = level;
+                    visited += 1;
+                    next.push(child);
+                }
             }
-            *slot = d;
+            std::mem::swap(&mut frontier, &mut next);
+            next.clear();
         }
+        debug_assert_eq!(visited, size, "tree does not span all ranks");
         // Deepest contribution path; ties toward the larger relative rank
         // (matches `tree::last_node` for the binomial family).
         let last_rel = (0..size)
@@ -317,20 +327,63 @@ impl TopoSchedule {
     }
 }
 
-/// Per-engine cache of schedules keyed by `(root, size)` (the kind is
-/// fixed per cache). Collective instances share the cached schedule via
+/// Process-global registry of built schedules keyed by
+/// `(kind, root, size)`. A schedule is pure structure — it depends only on
+/// its key — so every engine in the process can share one copy. Without
+/// this, an `n`-rank simulation builds the same `(root = reduction root,
+/// size = n)` schedule once *per engine*: `O(n)` memory and build time per
+/// rank, `O(n^2)` for the cluster — about 1 GB of redundant `Vec`s at 8k
+/// ranks and an infeasible ~45 GB at 64k.
+type ScheduleMap = HashMap<(TopologyKind, Rank, u32), Arc<TopoSchedule>>;
+static REGISTRY: OnceLock<Mutex<ScheduleMap>> = OnceLock::new();
+
+fn registry_get(kind: TopologyKind, root: Rank, size: u32) -> Arc<TopoSchedule> {
+    let reg = REGISTRY.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(s) = reg.lock().unwrap().get(&(kind, root, size)) {
+        return Arc::clone(s);
+    }
+    // Build outside the lock so one slow build (64k ranks) doesn't stall
+    // unrelated lookups; a racing duplicate build is rare and harmless —
+    // first insert wins, the loser's copy is dropped.
+    let built = Arc::new(TopoSchedule::build(kind, root, size));
+    let mut map = reg.lock().unwrap();
+    Arc::clone(map.entry((kind, root, size)).or_insert(built))
+}
+
+/// Per-engine view of the schedule store, keyed by `(root, size)` (the kind
+/// is fixed per cache). Collective instances share the cached schedule via
 /// `Arc`, so steady-state reductions allocate nothing for tree structure.
+///
+/// By default the cache is a thin local index over the process-global
+/// registry, so all engines in a simulation share one `TopoSchedule` per
+/// shape; [`ScheduleCache::new_private`] opts out (used by benchmarks to
+/// measure the pre-registry per-engine cost).
 #[derive(Debug, Clone)]
 pub struct ScheduleCache {
     kind: TopologyKind,
+    shared: bool,
     map: HashMap<(Rank, u32), Arc<TopoSchedule>>,
 }
 
 impl ScheduleCache {
-    /// Empty cache for one tree family.
+    /// Empty cache for one tree family, backed by the process-global
+    /// registry.
     pub fn new(kind: TopologyKind) -> ScheduleCache {
         ScheduleCache {
             kind,
+            shared: true,
+            map: HashMap::new(),
+        }
+    }
+
+    /// Empty cache that builds its own private schedules instead of
+    /// consulting the global registry. This reproduces the pre-registry
+    /// behavior where every engine paid its own `O(size)` build; it exists
+    /// so the scale benchmark can measure that cost honestly.
+    pub fn new_private(kind: TopologyKind) -> ScheduleCache {
+        ScheduleCache {
+            kind,
+            shared: false,
             map: HashMap::new(),
         }
     }
@@ -340,13 +393,17 @@ impl ScheduleCache {
         self.kind
     }
 
-    /// The schedule for `(root, size)`, building it on first use.
+    /// The schedule for `(root, size)`, building it on first use (or
+    /// fetching it from the process-global registry for shared caches).
     pub fn get(&mut self, root: Rank, size: u32) -> Arc<TopoSchedule> {
-        Arc::clone(
-            self.map
-                .entry((root, size))
-                .or_insert_with(|| Arc::new(TopoSchedule::build(self.kind, root, size))),
-        )
+        let (kind, shared) = (self.kind, self.shared);
+        Arc::clone(self.map.entry((root, size)).or_insert_with(|| {
+            if shared {
+                registry_get(kind, root, size)
+            } else {
+                Arc::new(TopoSchedule::build(kind, root, size))
+            }
+        }))
     }
 }
 
@@ -480,6 +537,56 @@ mod tests {
         let c = cache.get(1, 8);
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.kind(), TopologyKind::Chain);
+    }
+
+    #[test]
+    fn registry_shares_schedules_across_caches() {
+        // Two independent shared caches (distinct engines in a real run)
+        // must hand out the *same* Arc for the same shape.
+        let mut c1 = ScheduleCache::new(TopologyKind::Knomial(3));
+        let mut c2 = ScheduleCache::new(TopologyKind::Knomial(3));
+        assert!(Arc::ptr_eq(&c1.get(2, 9), &c2.get(2, 9)));
+        // Private caches build their own copies and never pollute (or read)
+        // the registry-shared instance.
+        let mut p1 = ScheduleCache::new_private(TopologyKind::Knomial(3));
+        let mut p2 = ScheduleCache::new_private(TopologyKind::Knomial(3));
+        assert!(!Arc::ptr_eq(&c1.get(2, 9), &p1.get(2, 9)));
+        assert!(!Arc::ptr_eq(&p1.get(2, 9), &p2.get(2, 9)));
+        // Structure is identical either way.
+        assert_eq!(*c1.get(2, 9), *p1.get(2, 9));
+    }
+
+    #[test]
+    fn schedules_build_at_64k_ranks() {
+        // Regression for scale: the depth computation must stay O(n) (the
+        // old parent-walk was quadratic for a chain) and all CSR offsets,
+        // rank ids, and depth tags must fit their u32 types at 65,536.
+        const N: u32 = 65_536;
+        for kind in [
+            TopologyKind::Binomial,
+            TopologyKind::Knomial(4),
+            TopologyKind::Chain,
+        ] {
+            let s = kind.schedule(0, N);
+            assert_eq!(s.size(), N);
+            // CSR invariant: offsets are monotone and end at n - 1 edges.
+            assert!(s.child_off.windows(2).all(|w| w[0] <= w[1]), "{kind}");
+            assert_eq!(*s.child_off.last().unwrap(), N - 1);
+            let expect_depth = match kind {
+                TopologyKind::Binomial => 16,
+                TopologyKind::Knomial(4) => 8,
+                TopologyKind::Chain => N - 1,
+                _ => unreachable!(),
+            };
+            assert_eq!(s.max_depth(), expect_depth, "{kind}");
+            assert_eq!(s.depth_of(s.last_node()), expect_depth, "{kind}");
+            // Every rank's parent edge is consistent with the child arrays.
+            for rank in [1u32, 255, 4_095, 65_535] {
+                let p = s.parent_of(rank).expect("non-root has parent");
+                assert!(s.children_of(p).contains(&rank), "{kind} rank {rank}");
+                assert_eq!(s.depth_of(rank), s.depth_of(p) + 1, "{kind} rank {rank}");
+            }
+        }
     }
 
     impl TopoSchedule {

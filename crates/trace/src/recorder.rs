@@ -4,7 +4,7 @@
 use crate::event::{TraceEvent, TraceRecord};
 use crate::ring::EventRing;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::Instant;
 
 /// Which clock stamps recorded events.
@@ -46,6 +46,12 @@ pub trait Tracer: Send + Sync {
 /// Lock-free per-rank ring-buffer recorder: one [`EventRing`] per rank,
 /// a shared clock, and run identity (seed, attempt) for exporters.
 ///
+/// Rings are allocated **lazily**, on a rank's first recorded event: a
+/// recorder sized for 65,536 ranks costs one pointer-sized slot per rank
+/// until a rank actually traces something. Combined with the disabled
+/// [`TraceHandle`] fast path this means a 64k-rank simulation with
+/// tracing off (or on, but quiet) allocates no ring memory at all.
+///
 /// # Examples
 ///
 /// ```
@@ -65,7 +71,8 @@ pub struct RingRecorder {
     clock: TraceClock,
     now_ns: AtomicU64,
     wall_origin: Instant,
-    rings: Vec<EventRing>,
+    capacity: usize,
+    rings: Vec<OnceLock<EventRing>>,
 }
 
 impl RingRecorder {
@@ -84,8 +91,15 @@ impl RingRecorder {
             clock,
             now_ns: AtomicU64::new(0),
             wall_origin: Instant::now(),
-            rings: (0..ranks).map(|_| EventRing::new(capacity)).collect(),
+            capacity,
+            rings: (0..ranks).map(|_| OnceLock::new()).collect(),
         })
+    }
+
+    /// How many ranks have materialized a ring so far (diagnostic for the
+    /// lazy-allocation guarantee).
+    pub fn allocated_rings(&self) -> usize {
+        self.rings.iter().filter(|c| c.get().is_some()).count()
     }
 
     /// A handle that emits into this recorder on behalf of `rank`.
@@ -122,15 +136,25 @@ impl RingRecorder {
             seed: self.seed,
             attempt: self.attempt,
             clock: self.clock,
-            dropped: self.rings.iter().map(|r| r.dropped()).sum(),
-            per_rank: self.rings.iter().map(|r| r.snapshot()).collect(),
+            dropped: self
+                .rings
+                .iter()
+                .filter_map(|c| c.get())
+                .map(|r| r.dropped())
+                .sum(),
+            per_rank: self
+                .rings
+                .iter()
+                .map(|c| c.get().map(|r| r.snapshot()).unwrap_or_default())
+                .collect(),
         }
     }
 }
 
 impl Tracer for RingRecorder {
     fn record(&self, rank: u32, event: TraceEvent) {
-        if let Some(ring) = self.rings.get(rank as usize) {
+        if let Some(cell) = self.rings.get(rank as usize) {
+            let ring = cell.get_or_init(|| EventRing::new(self.capacity));
             ring.push(TraceRecord {
                 t_ns: self.now(),
                 rank,
@@ -307,5 +331,40 @@ impl Trace {
             out.push(line);
         }
         out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rings_allocate_lazily_per_rank() {
+        // A recorder sized for a 64k-rank cluster must not allocate any
+        // ring storage until a rank records something.
+        let rec = RingRecorder::new(65_536, 1024, TraceClock::Virtual, 1, 0);
+        assert_eq!(rec.allocated_rings(), 0);
+        rec.handle_for(42)
+            .emit(TraceEvent::Signal { outcome: "raised" });
+        rec.handle_for(42)
+            .emit(TraceEvent::Signal { outcome: "raised" });
+        rec.handle_for(65_535)
+            .emit(TraceEvent::Signal { outcome: "raised" });
+        assert_eq!(rec.allocated_rings(), 2);
+        let trace = rec.snapshot();
+        assert_eq!(trace.per_rank.len(), 65_536);
+        assert_eq!(trace.per_rank[42].len(), 2);
+        assert_eq!(trace.per_rank[65_535].len(), 1);
+        assert_eq!(trace.per_rank[0].len(), 0);
+        assert_eq!(trace.dropped, 0);
+    }
+
+    #[test]
+    fn out_of_range_rank_is_ignored() {
+        let rec = RingRecorder::new(2, 8, TraceClock::Virtual, 1, 0);
+        rec.handle_for(7)
+            .emit(TraceEvent::Signal { outcome: "raised" });
+        assert_eq!(rec.allocated_rings(), 0);
+        assert!(rec.snapshot().is_empty());
     }
 }

@@ -48,4 +48,24 @@ echo "==> skew-vs-topology figure"
 ABR_ITERS=20 ABR_JOBS=2 \
   cargo run -q --release -p abr_bench --bin topology_figure > FIG_topology.txt
 
+echo "==> scale smoke (fig_scale capped at 1k ranks + before/after throughput)"
+ABR_SCALE_MAX=1024 ABR_ITERS=5 ABR_JOBS=2 \
+  cargo run -q --release -p abr_bench --bin scale_figure > FIG_scale.txt
+grep -q '"schema": "abr-scale-v1"' BENCH_scale.json \
+  || { echo "BENCH_scale.json missing or malformed"; exit 1; }
+
+echo "==> parallel executor determinism (same figure under 2 and 8 shards)"
+ABR_DES_SHARDS=2 ABR_SCALE_MAX=1024 ABR_ITERS=5 ABR_JOBS=1 \
+  ABR_SCALE_JSON=/dev/null \
+  cargo run -q --release -p abr_bench --bin scale_figure > FIG_scale_s2.txt
+ABR_DES_SHARDS=8 ABR_SCALE_MAX=1024 ABR_ITERS=5 ABR_JOBS=1 \
+  ABR_SCALE_JSON=/dev/null \
+  cargo run -q --release -p abr_bench --bin scale_figure > FIG_scale_s8.txt
+# Compare only the figure tables: the trailing throughput section reports
+# wall-clock timings, which legitimately vary run to run.
+sed '/^### hot-path/,$d' FIG_scale_s2.txt > FIG_scale_s2.tables
+sed '/^### hot-path/,$d' FIG_scale_s8.txt > FIG_scale_s8.tables
+diff -u FIG_scale_s2.tables FIG_scale_s8.tables \
+  || { echo "scale figure diverged between 2 and 8 shards"; exit 1; }
+
 echo "CI gate passed."
