@@ -1,0 +1,162 @@
+//! `BENCH_fabric.json`: the fabric-contention figure record.
+//!
+//! The `fabric_figure` binary sweeps ab-vs-nab CPU per reduction topology
+//! on a contended fabric (4:1-oversubscribed fat-tree unless `ABR_FABRIC`
+//! / `ABR_OVERSUB` say otherwise) and records every point here: rank
+//! count, topology, nab/ab CPU, FoI, and the fabric's link-wait counters.
+//! `best_nab` names the topology with the lowest blocking-mode CPU at the
+//! largest size — the headline "placement-aware trees win under
+//! contention" claim in machine-checkable form. The JSON is hand-rolled
+//! like `BENCH_sweep.json`; the output path defaults to
+//! `BENCH_fabric.json` and can be overridden with `ABR_FABRIC_JSON`.
+
+use crate::sweep_json::FigureRecord;
+
+/// One (size, topology) point of the fabric figure.
+#[derive(Debug, Clone)]
+pub struct FabricPoint {
+    /// Cluster size (ranks).
+    pub size: u32,
+    /// Reduction topology label (`ABR_TOPO` syntax).
+    pub topo: String,
+    /// Blocking-mode mean per-reduction CPU (µs).
+    pub nab_us: f64,
+    /// Bypass-mode mean per-reduction CPU (µs).
+    pub ab_us: f64,
+    /// Factor of improvement (nab / ab).
+    pub foi: f64,
+    /// Packets that queued behind a busy link (nab + ab runs).
+    pub link_waits: u64,
+    /// Total queueing time on busy links (µs, nab + ab runs).
+    pub link_wait_us: f64,
+}
+
+/// The output path: `ABR_FABRIC_JSON` or `BENCH_fabric.json`.
+///
+/// # Panics
+/// Panics on a set-but-empty `ABR_FABRIC_JSON`.
+pub fn out_path() -> String {
+    abr_trace::parse_env("ABR_FABRIC_JSON", parse_out_path)
+        .unwrap_or_else(|| "BENCH_fabric.json".to_string())
+}
+
+/// Validate an explicit `ABR_FABRIC_JSON` value: any non-empty path.
+pub fn parse_out_path(raw: &str) -> Result<String, String> {
+    if raw.trim().is_empty() {
+        Err("ABR_FABRIC_JSON must be a non-empty output path".to_string())
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+/// The topology with the lowest blocking-mode CPU at the largest size.
+pub fn best_nab(points: &[FabricPoint]) -> Option<&FabricPoint> {
+    let largest = points.iter().map(|p| p.size).max()?;
+    points
+        .iter()
+        .filter(|p| p.size == largest)
+        .min_by(|a, b| a.nab_us.partial_cmp(&b.nab_us).expect("finite"))
+}
+
+/// Render the summary document (schema `abr-fabric-v1`).
+pub fn render(fabric: &str, points: &[FabricPoint], fig: &FigureRecord) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"abr-fabric-v1\",\n");
+    s.push_str(&format!("  \"fabric\": \"{fabric}\",\n"));
+    match best_nab(points) {
+        Some(b) => s.push_str(&format!(
+            "  \"best_nab\": {{\"size\": {}, \"topo\": \"{}\", \"nab_us\": {:.2}}},\n",
+            b.size, b.topo, b.nab_us
+        )),
+        None => s.push_str("  \"best_nab\": null,\n"),
+    }
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"size\": {}, \"topo\": \"{}\", \"nab_us\": {:.2}, \"ab_us\": {:.2}, \
+             \"foi\": {:.2}, \"link_waits\": {}, \"link_wait_us\": {:.1}}}{}\n",
+            p.size,
+            p.topo,
+            p.nab_us,
+            p.ab_us,
+            p.foi,
+            p.link_waits,
+            p.link_wait_us,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"figure\": {{\"name\": \"{}\", \"points\": {}, \"wall_ms\": {:.3}}}\n",
+        fig.name, fig.points, fig.wall_ms
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Write the summary to [`out_path`]; prints a notice on success and a
+/// warning (without failing the run) if the write is impossible.
+pub fn write(fabric: &str, points: &[FabricPoint], fig: &FigureRecord) {
+    let path = out_path();
+    match std::fs::write(&path, render(fabric, points, fig)) {
+        Ok(()) => eprintln!("fabric figure record written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(size: u32, topo: &str, nab: f64) -> FabricPoint {
+        FabricPoint {
+            size,
+            topo: topo.to_string(),
+            nab_us: nab,
+            ab_us: nab / 3.0,
+            foi: 3.0,
+            link_waits: 10,
+            link_wait_us: 5.5,
+        }
+    }
+
+    #[test]
+    fn render_is_valid_shape_and_picks_best() {
+        let points = vec![
+            pt(512, "binomial", 50.0),
+            pt(2048, "binomial", 90.0),
+            pt(2048, "locality4x16:cyclic", 60.0),
+        ];
+        let fig = FigureRecord {
+            name: "fig_fabric",
+            points: 12,
+            wall_ms: 7.0,
+        };
+        let s = render("fattree:4:cyclic", &points, &fig);
+        assert!(s.contains("\"schema\": \"abr-fabric-v1\""));
+        assert!(s.contains("\"fabric\": \"fattree:4:cyclic\""));
+        // Best is judged at the largest size only.
+        assert!(s.contains("\"best_nab\": {\"size\": 2048, \"topo\": \"locality4x16:cyclic\""));
+        assert!(s.contains("\"link_waits\": 10"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn empty_points_render_null_best() {
+        let fig = FigureRecord {
+            name: "fig_fabric",
+            points: 0,
+            wall_ms: 0.0,
+        };
+        let s = render("flat", &[], &fig);
+        assert!(s.contains("\"best_nab\": null"));
+    }
+
+    #[test]
+    fn parse_out_path_rejects_empty() {
+        assert_eq!(parse_out_path("x.json"), Ok("x.json".to_string()));
+        assert!(parse_out_path(" ").unwrap_err().contains("ABR_FABRIC_JSON"));
+    }
+}

@@ -7,12 +7,14 @@
 //! allows; because every point is a pure function of its config, the
 //! emitted tables are bit-identical at any worker count.
 
+use crate::fabric_json::FabricPoint;
 use abr_cluster::microbench::{AppBenchConfig, CpuUtilConfig, LatencyConfig, Mode};
 use abr_cluster::node::ClusterSpec;
 use abr_cluster::report::{f2, ratio, Table};
 use abr_cluster::sweep::{RunOut, RunSpec, Sweep};
 use abr_cluster::{FaultPlan, RelStats};
 use abr_core::DelayPolicy;
+use abr_fabric::{FabricSpec, PlacementPolicy};
 use abr_gm::cost::CostModel;
 use abr_mpr::topology::TopologyKind;
 
@@ -736,6 +738,128 @@ pub fn fig_scale(iters: u64) -> Vec<Table> {
 /// event count per point stays bounded, never below 2.
 fn scale_iters(iters: u64, n: u32) -> u64 {
     iters.min((131_072 / n as u64).max(2))
+}
+
+/// The fabric the fabric figure sweeps: `ABR_FABRIC` when set, otherwise
+/// the 4:1-oversubscribed fat-tree (`ABR_OVERSUB` still applies to the
+/// default).
+pub fn fabric_for_figure() -> FabricSpec {
+    FabricSpec::from_env()
+        .unwrap_or_else(|| FabricSpec::fat_tree(abr_fabric::spec::oversub_from_env()))
+}
+
+/// The topology contenders: placement-oblivious binomial against the two
+/// placement-aware families, with the locality tree shaped to the fabric
+/// under test.
+fn fabric_topos(fabric: &FabricSpec) -> [TopologyKind; 3] {
+    [
+        TopologyKind::Binomial,
+        TopologyKind::Bine,
+        TopologyKind::Locality {
+            ranks_per_node: fabric.ranks_per_node,
+            nodes_per_pod: fabric.nodes_per_pod(),
+            cyclic: fabric.placement == PlacementPolicy::Cyclic,
+        },
+    ]
+}
+
+/// The fabric figure: ab-vs-nab CPU and factor of improvement per
+/// reduction topology on a *contended* fabric (see [`fabric_for_figure`]).
+/// On the oversubscribed fat-tree the placement-oblivious binomial tree
+/// pays for its cross-pod edges in uplink queueing, which the blocking
+/// engine spins through; the Bine and locality-greedy trees keep more
+/// edges inside a node or pod and shed that wait. `ABR_SCALE_MAX` caps the
+/// largest size (CI smoke uses a small cap).
+pub fn fig_fabric(iters: u64) -> Vec<Table> {
+    fig_fabric_data(iters).0
+}
+
+/// [`fig_fabric`] plus the per-point records for `BENCH_fabric.json`.
+pub fn fig_fabric_data(iters: u64) -> (Vec<Table>, Vec<FabricPoint>) {
+    const SIZES: [u32; 3] = [512, 2048, 8192];
+    let fabric = fabric_for_figure();
+    let topos = fabric_topos(&fabric);
+    let max = crate::scale_max();
+    let mut sizes: Vec<u32> = SIZES.into_iter().filter(|&n| n <= max).collect();
+    if sizes.is_empty() {
+        sizes.push(max);
+    }
+    let mut specs = Vec::new();
+    for &n in &sizes {
+        let it = scale_iters(iters, n);
+        for &topo in &topos {
+            for mode in [Mode::Baseline, ab_mode()] {
+                specs.push(cpu_spec(
+                    ClusterSpec::heterogeneous(n)
+                        .with_topology(topo)
+                        .with_fabric(fabric.clone()),
+                    32,
+                    200,
+                    it,
+                    mode,
+                ));
+            }
+        }
+    }
+    let out = sweep().run_points(&specs);
+    let cols: Vec<String> = std::iter::once("nodes".to_string())
+        .chain(
+            topos
+                .iter()
+                .flat_map(|t| [format!("nab-{t}"), format!("ab-{t}"), format!("foi-{t}")]),
+        )
+        .collect();
+    let mut t = Table::new(
+        format!(
+            "Fabric sweep [{}]: CPU utilization and factor of improvement vs cluster size (200us max skew, 32 elems, us)",
+            fabric.label()
+        ),
+        &cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let wait_cols: Vec<String> = std::iter::once("nodes".to_string())
+        .chain(
+            topos
+                .iter()
+                .flat_map(|t| [format!("waits-{t}"), format!("wait_us-{t}")]),
+        )
+        .collect();
+    let mut t_wait = Table::new(
+        format!(
+            "Fabric sweep [{}]: packets queued on busy links and total queueing time (nab+ab)",
+            fabric.label()
+        ),
+        &wait_cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut points = Vec::new();
+    let w = topos.len();
+    for (row, &n) in sizes.iter().enumerate() {
+        let cells = &out[row * 2 * w..(row + 1) * 2 * w];
+        let mut r = vec![n.to_string()];
+        let mut wr = vec![n.to_string()];
+        for (ti, topo) in topos.iter().enumerate() {
+            let nab = cells[ti * 2].cpu();
+            let ab = cells[ti * 2 + 1].cpu();
+            r.push(f2(nab.mean_cpu_us));
+            r.push(f2(ab.mean_cpu_us));
+            r.push(ratio(nab.mean_cpu_us, ab.mean_cpu_us));
+            let waits = nab.link_waits + ab.link_waits;
+            let wait_us = nab.link_wait_us + ab.link_wait_us;
+            wr.push(waits.to_string());
+            wr.push(f2(wait_us));
+            points.push(FabricPoint {
+                size: n,
+                topo: topo.to_string(),
+                nab_us: nab.mean_cpu_us,
+                ab_us: ab.mean_cpu_us,
+                foi: nab.mean_cpu_us / ab.mean_cpu_us.max(1e-9),
+                link_waits: waits,
+                link_wait_us: wait_us,
+            });
+        }
+        t.row(r);
+        t_wait.row(wr);
+    }
+    (vec![t, t_wait], points)
 }
 
 /// One sweep point per mode under an explicit [`FaultPlan`] (the

@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fabric_json;
 pub mod figures;
 pub mod scale_json;
 pub mod sweep_json;

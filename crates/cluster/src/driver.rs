@@ -40,7 +40,7 @@
 //! region shards and advances them concurrently between conservative
 //! synchronization horizons (a YAWNS-style window): with `T` the globally
 //! earliest pending event and `L` the cost model's minimum cross-node
-//! delivery latency ([`Network::min_delivery_delay`]), every shard may
+//! delivery latency ([`LinkCost::min_delivery_delay`]), every shard may
 //! safely process all events strictly before `T + L`, because any packet a
 //! handler in the window sends cannot arrive before `T + L`. Cross-shard
 //! packets are exchanged through per-shard outboxes at each horizon.
@@ -56,8 +56,9 @@ use crate::node::ClusterSpec;
 use crate::program::{Obs, Program, Step, StepCtx};
 use abr_des::meter::CpuCategory;
 use abr_des::{CpuMeter, EventId, EventQueue, FxHashMap, SimDuration, SimTime};
+use abr_fabric::FabricNetwork;
 use abr_faults::{FaultInjector, FaultPlan, NodeReliability, RelConfig, RelEvent, RelStats};
-use abr_gm::nic::{Network, NodeHw};
+use abr_gm::nic::{LinkCost, NodeHw};
 use abr_gm::packet::Packet;
 use abr_gm::signal::SignalControl;
 use abr_mpr::engine::{Action, EngineConfig, MessageEngine};
@@ -228,7 +229,7 @@ struct Core<E: MessageEngine, P: Program> {
     /// First global rank owned by this core.
     base: usize,
     queue: EventQueue<Ev>,
-    network: Network,
+    network: FabricNetwork,
     // ---- struct-of-arrays rank arenas (index = global rank - base) ----
     engines: Vec<E>,
     programs: Vec<P>,
@@ -939,7 +940,7 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
             cores.push(Core {
                 base: start,
                 queue: EventQueue::new(),
-                network: Network::new(self.network.cost().clone()),
+                network: self.network.fresh_like(),
                 engines: self.engines.split_off(start),
                 programs: self.programs.split_off(start),
                 signals: self.signals.split_off(start),
@@ -1052,7 +1053,7 @@ impl<E: MessageEngine, P: Program> DesDriver<E, P> {
         let core = Core {
             base: 0,
             queue: EventQueue::new(),
-            network: Network::new(spec.cost.clone()),
+            network: FabricNetwork::new(spec.cost.clone(), spec.fabric.clone(), n as u32),
             engines: (0..n)
                 .map(|i| make_engine(i as u32, config.clone()))
                 .collect(),
@@ -1188,7 +1189,7 @@ impl<E: MessageEngine, P: Program> DesDriver<E, P> {
     }
 
     /// The network (post-run statistics).
-    pub fn network(&self) -> &Network {
+    pub fn network(&self) -> &FabricNetwork {
         &self.core.network
     }
 
@@ -1235,6 +1236,12 @@ impl<E: MessageEngine + Send, P: Program> DesDriver<E, P> {
     /// falls back automatically).
     pub fn run_sharded(&mut self, shards: usize) {
         assert!(!self.started, "run_sharded requires a fresh driver");
+        assert!(
+            self.core.network.is_flat(),
+            "parallel execution requires the flat (contention-free) fabric: per-link \
+             busy clocks are global order-dependent state that cannot be sharded; \
+             unset ABR_FABRIC (or set ABR_FABRIC=flat) or drop ABR_DES_SHARDS"
+        );
         self.started = true;
         assert!(
             self.core.faults.is_none(),
@@ -1368,11 +1375,37 @@ impl<E: MessageEngine + Send, P: Program> DesDriver<E, P> {
                 )),
                 Ok(s) => Ok(s),
             });
-        let sequential_only =
-            self.core.faults.is_some() || self.tracer.is_some() || self.core.timeline.is_some();
+        if shards.is_some() && !self.core.network.is_flat() {
+            // Fail fast rather than silently running sequentially: the user
+            // asked for two things that cannot be combined.
+            panic!(
+                "ABR_DES_SHARDS is set but ABR_FABRIC={} models link contention, \
+                 which the sharded executor cannot replay deterministically; \
+                 unset one of the two variables",
+                self.core.network.spec().label()
+            );
+        }
+        let mut reasons: Vec<&str> = Vec::new();
+        if self.core.faults.is_some() {
+            reasons.push("fault injection");
+        }
+        if self.tracer.is_some() {
+            reasons.push("tracing");
+        }
+        if self.core.timeline.is_some() {
+            reasons.push("the timeline");
+        }
         match shards {
-            Some(s) if !sequential_only => self.run_sharded(s),
-            _ => self.run(),
+            Some(s) if reasons.is_empty() => self.run_sharded(s),
+            Some(_) => {
+                eprintln!(
+                    "abr_cluster: ABR_DES_SHARDS ignored — {} installed; falling back \
+                     to the sequential executor (results are unchanged, only slower)",
+                    reasons.join(" + ")
+                );
+                self.run()
+            }
+            None => self.run(),
         }
     }
 }

@@ -131,6 +131,11 @@ pub struct CpuUtilResult {
     /// Aggregate reliability-layer counters (present only when a fault
     /// plan was active).
     pub rel: Option<RelStats>,
+    /// Packets that queued behind a busy fabric link (zero on the flat
+    /// crossbar, where links are never shared).
+    pub link_waits: u64,
+    /// Total time packets spent queued on busy fabric links (µs).
+    pub link_wait_us: f64,
     /// Raw per-node results.
     pub nodes: Vec<NodeResult>,
 }
@@ -363,6 +368,8 @@ fn aggregate_cpu(nodes: Vec<NodeResult>) -> CpuUtilResult {
         max_us,
         nic_us_total,
         rel: None,
+        link_waits: 0,
+        link_wait_us: 0.0,
         nodes,
     }
 }
@@ -383,8 +390,11 @@ fn run_cpu_driver<E: abr_mpr::engine::MessageEngine + Send, P: Program + Send>(
     d.set_faults(faults, RelConfig::sim_default());
     d.run_auto();
     let rel = d.rel_stats();
+    let (link_waits, link_wait_us) = (d.network().link_waits(), d.network().link_wait_us());
     let mut res = aggregate_cpu(d.results());
     res.rel = rel;
+    res.link_waits = link_waits;
+    res.link_wait_us = link_wait_us;
     res
 }
 

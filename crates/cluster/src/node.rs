@@ -7,6 +7,7 @@
 //! prefix of the list is a balanced mix — we reproduce that so "first N
 //! nodes" sweeps behave like the paper's.
 
+use abr_fabric::FabricSpec;
 use abr_gm::cost::CostModel;
 use abr_gm::nic::NodeHw;
 use abr_mpr::topology::TopologyKind;
@@ -24,6 +25,10 @@ pub struct ClusterSpec {
     /// process-wide `ABR_TOPO` knob (binomial when unset); override per
     /// spec with [`ClusterSpec::with_topology`].
     pub topology: TopologyKind,
+    /// Interconnect model. Constructors read the process-wide
+    /// `ABR_FABRIC` / `ABR_OVERSUB` knobs (ideal crossbar when unset);
+    /// override per spec with [`ClusterSpec::with_fabric`].
+    pub fabric: FabricSpec,
 }
 
 impl ClusterSpec {
@@ -55,6 +60,7 @@ impl ClusterSpec {
             cost: CostModel::default(),
             eager_limit: 16 * 1024,
             topology: TopologyKind::from_env_or_default(),
+            fabric: FabricSpec::from_env_or_flat(),
         }
     }
 
@@ -65,6 +71,7 @@ impl ClusterSpec {
             cost: CostModel::default(),
             eager_limit: 16 * 1024,
             topology: TopologyKind::from_env_or_default(),
+            fabric: FabricSpec::from_env_or_flat(),
         }
     }
 
@@ -75,6 +82,7 @@ impl ClusterSpec {
             cost: CostModel::default(),
             eager_limit: 16 * 1024,
             topology: TopologyKind::from_env_or_default(),
+            fabric: FabricSpec::from_env_or_flat(),
         }
     }
 
@@ -97,6 +105,12 @@ impl ClusterSpec {
     /// Replace the reduction topology (the skew-vs-topology figure).
     pub fn with_topology(mut self, topology: TopologyKind) -> Self {
         self.topology = topology;
+        self
+    }
+
+    /// Replace the interconnect model (the fabric-contention figure).
+    pub fn with_fabric(mut self, fabric: FabricSpec) -> Self {
+        self.fabric = fabric;
         self
     }
 }

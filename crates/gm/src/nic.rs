@@ -104,6 +104,39 @@ impl NodeHw {
     }
 }
 
+/// A delivery-time model for the simulated interconnect.
+///
+/// Both the flat crossbar [`Network`] and the contended fabric model in
+/// `abr_fabric` implement this interface, so the DES drivers are generic
+/// over *how* a packet's arrival time is computed: the flat model charges
+/// endpoint hardware plus one uncontended wire, while a fabric model may
+/// route the packet over shared links with per-link busy-until clocks.
+pub trait LinkCost {
+    /// Compute the delivery time for a packet handed to the source NIC at
+    /// `sent_at`, updating whatever serialization state (NIC injection,
+    /// FIFO floors, link clocks) the model maintains.
+    fn delivery_time(
+        &mut self,
+        sent_at: SimTime,
+        src: &NodeHw,
+        dst: &NodeHw,
+        packet: &Packet,
+    ) -> SimTime;
+
+    /// A strict lower bound on the delivery delay of *any* packet between
+    /// nodes drawn from `hws` — the conservative parallel executor's
+    /// lookahead.
+    fn min_delivery_delay(&self, hws: &[NodeHw]) -> SimDuration;
+}
+
+/// Once the FIFO-floor map crosses this many entries, floors that can no
+/// longer influence an arrival (entries at or below the send-time
+/// watermark) are pruned. Keeps `last_delivery` bounded by the number of
+/// pairs *in flight around the same sim time* instead of O(all pairs ever
+/// used), which at 64k ranks is the difference between ~10^5 and ~10^9
+/// potential entries.
+const FLOOR_PRUNE_LIMIT: usize = 65_536;
+
 /// The network: one cut-through crossbar switch connecting every node.
 ///
 /// `delivery_delay` returns how long after the *host hands the packet to the
@@ -121,6 +154,11 @@ pub struct Network {
     tx_free: FxHashMap<u32, SimTime>,
     packets_carried: u64,
     bytes_carried: u64,
+    /// Highest `sent_at` observed: everything at or below this time can no
+    /// longer raise an arrival (DES event times are non-decreasing per
+    /// executor), so floors under it are dead weight and prunable.
+    watermark: SimTime,
+    floors_pruned: u64,
     trace: TraceHandle,
 }
 
@@ -133,6 +171,8 @@ impl Network {
             tx_free: FxHashMap::default(),
             packets_carried: 0,
             bytes_carried: 0,
+            watermark: SimTime::ZERO,
+            floors_pruned: 0,
             trace: TraceHandle::default(),
         }
     }
@@ -195,6 +235,21 @@ impl Network {
         self.last_delivery.insert(key, arrival);
         self.packets_carried += 1;
         self.bytes_carried += packet.wire_bytes() as u64;
+        self.watermark = self.watermark.max(sent_at);
+        if self.last_delivery.len() > FLOOR_PRUNE_LIMIT {
+            // A floor at or below the watermark can never exceed a future
+            // `nominal` (which is strictly later than any future `sent_at`,
+            // itself >= watermark), so `max(nominal, floor)` is the identity
+            // and the entry is droppable without changing any arrival.
+            let wm = self.watermark;
+            let before = self.last_delivery.len();
+            self.last_delivery.retain(|_, v| *v > wm);
+            self.floors_pruned += (before - self.last_delivery.len()) as u64;
+        }
+        if self.tx_free.len() > FLOOR_PRUNE_LIMIT {
+            let wm = self.watermark;
+            self.tx_free.retain(|_, v| *v > wm);
+        }
         if self.trace.is_enabled() {
             let bytes = packet.wire_bytes() as f64;
             let dst_id = packet.header.dst.0;
@@ -285,6 +340,8 @@ impl Network {
     pub fn absorb(&mut self, other: &Network) {
         self.packets_carried += other.packets_carried;
         self.bytes_carried += other.bytes_carried;
+        self.watermark = self.watermark.max(other.watermark);
+        self.floors_pruned += other.floors_pruned;
         for (&k, &v) in &other.last_delivery {
             let e = self.last_delivery.entry(k).or_insert(v);
             *e = (*e).max(v);
@@ -305,9 +362,48 @@ impl Network {
         self.bytes_carried
     }
 
+    /// Live FIFO-floor entries currently held (per-(src,dst) map size).
+    pub fn floor_entries(&self) -> usize {
+        self.last_delivery.len()
+    }
+
+    /// Dead FIFO floors reclaimed by watermark pruning so far.
+    pub fn floors_pruned(&self) -> u64 {
+        self.floors_pruned
+    }
+
+    /// Record a packet carried by an outer model (e.g. the contended
+    /// fabric) that computed the wire path itself but still wants the
+    /// carried-traffic counters to live in one place.
+    pub fn record_carried(&mut self, wire_bytes: u64) {
+        self.packets_carried += 1;
+        self.bytes_carried += wire_bytes;
+    }
+
+    /// The installed trace handle (shared with outer models).
+    pub fn tracer(&self) -> &TraceHandle {
+        &self.trace
+    }
+
     /// The cost model in use.
     pub fn cost(&self) -> &CostModel {
         &self.cost
+    }
+}
+
+impl LinkCost for Network {
+    fn delivery_time(
+        &mut self,
+        sent_at: SimTime,
+        src: &NodeHw,
+        dst: &NodeHw,
+        packet: &Packet,
+    ) -> SimTime {
+        Network::delivery_time(self, sent_at, src, dst, packet)
+    }
+
+    fn min_delivery_delay(&self, hws: &[NodeHw]) -> SimDuration {
+        Network::min_delivery_delay(self, hws)
     }
 }
 
@@ -468,6 +564,33 @@ mod tests {
         net.delivery_time(SimTime::ZERO, &hw, &hw, &packet(1, 0, 50));
         assert_eq!(net.packets_carried(), 2);
         assert_eq!(net.bytes_carried(), (100 + 32 + 50 + 32) as u64);
+    }
+
+    #[test]
+    fn floor_map_stays_bounded_under_many_pairs() {
+        let mut net = Network::new(CostModel::default());
+        let hw = NodeHw::p3_700();
+        // Distinct (src, dst) pairs at advancing sim times: the map would
+        // grow O(pairs) without pruning. Spacing the sends far apart keeps
+        // each floor behind the watermark by the time the limit trips.
+        let pairs = (FLOOR_PRUNE_LIMIT + 4_096) as u32;
+        for i in 0..pairs {
+            let t = SimTime::from_us(u64::from(i) * 1_000);
+            net.delivery_time(t, &hw, &hw, &packet(i, i + 1, 8));
+        }
+        assert!(
+            net.floor_entries() <= FLOOR_PRUNE_LIMIT + 1,
+            "floor map grew unbounded: {} entries",
+            net.floor_entries()
+        );
+        assert!(net.floors_pruned() > 0);
+        assert_eq!(net.packets_carried(), u64::from(pairs));
+        // Pruning only drops *dead* floors: a pair with in-flight backlog
+        // keeps its FIFO guarantee.
+        let t0 = SimTime::from_us(u64::from(pairs) * 1_000);
+        let big = net.delivery_time(t0, &hw, &hw, &packet(0, 1, 64 * 1024));
+        let small = net.delivery_time(t0 + SimDuration::from_us(1), &hw, &hw, &packet(0, 1, 8));
+        assert!(small >= big);
     }
 
     #[test]

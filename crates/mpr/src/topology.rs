@@ -47,6 +47,32 @@ pub enum TopologyKind {
     /// depth, maximum fan-in; no internal nodes, so bypass has nothing to
     /// optimize (the paper's 2-node observation taken to the limit).
     Flat,
+    /// Bine ("binary negabinary") tree, after De Sensi et al. (PAPERS.md):
+    /// relative rank `r` sends to `r - t` (mod `size`) where `t` is the
+    /// lowest nonzero term of `r`'s canonical base-(-2) expansion. Edges
+    /// span distances `±2^j` symmetrically around each subtree root, which
+    /// halves the worst-case physical distance of the binomial tree's
+    /// one-sided `+2^j` edges on locality-sensitive fabrics. Ranks whose
+    /// negabinary edge would self-loop or cycle (possible at
+    /// non-power-of-two sizes) are grafted onto their binomial parent, so
+    /// the result is always a spanning tree.
+    Bine,
+    /// Placement-aware locality-greedy tree: ranks are grouped by the
+    /// node/pod they land on (mirroring `abr_fabric`'s placement maps) and
+    /// reduced hierarchically — a binomial tree among the ranks of each
+    /// node, then among node leaders of each pod, then among pod leaders —
+    /// so only `num_nodes - 1` edges cross the fabric and only
+    /// `num_pods - 1` of those leave a pod.
+    Locality {
+        /// Ranks packed per node (matches `FabricSpec::ranks_per_node`).
+        ranks_per_node: u32,
+        /// Nodes grouped per pod (matches `FabricSpec::nodes_per_pod()`).
+        nodes_per_pod: u32,
+        /// Cyclic (round-robin) rank placement when true, blocked when
+        /// false — must match the fabric's `PlacementPolicy` for the
+        /// locality reasoning to hold.
+        cyclic: bool,
+    },
 }
 
 impl fmt::Display for TopologyKind {
@@ -56,13 +82,25 @@ impl fmt::Display for TopologyKind {
             TopologyKind::Knomial(k) => write!(f, "knomial{k}"),
             TopologyKind::Chain => write!(f, "chain"),
             TopologyKind::Flat => write!(f, "flat"),
+            TopologyKind::Bine => write!(f, "bine"),
+            TopologyKind::Locality {
+                ranks_per_node,
+                nodes_per_pod,
+                cyclic,
+            } => write!(
+                f,
+                "locality{ranks_per_node}x{nodes_per_pod}:{}",
+                if *cyclic { "cyclic" } else { "blocked" }
+            ),
         }
     }
 }
 
 impl TopologyKind {
     /// Parse an `ABR_TOPO` value: `binomial`, `knomial<k>` (k >= 2),
-    /// `chain`, or `flat`. Errors name the variable per the fail-fast
+    /// `chain`, `flat`, `bine`, or `locality[<R>x<P>][:cyclic|:blocked]`
+    /// (defaults `locality4x16:cyclic`, matching `abr_fabric`'s default
+    /// fat-tree shape). Errors name the variable per the fail-fast
     /// contract of [`abr_trace::parse_env`].
     ///
     /// # Examples
@@ -72,6 +110,11 @@ impl TopologyKind {
     ///
     /// assert_eq!(TopologyKind::parse("binomial"), Ok(TopologyKind::Binomial));
     /// assert_eq!(TopologyKind::parse("knomial4"), Ok(TopologyKind::Knomial(4)));
+    /// assert_eq!(TopologyKind::parse("bine"), Ok(TopologyKind::Bine));
+    /// assert_eq!(
+    ///     TopologyKind::parse("locality4x16:cyclic"),
+    ///     Ok(TopologyKind::Locality { ranks_per_node: 4, nodes_per_pod: 16, cyclic: true })
+    /// );
     /// assert!(TopologyKind::parse("knomial1").unwrap_err().contains("ABR_TOPO"));
     /// assert!(TopologyKind::parse("ring").unwrap_err().contains("ABR_TOPO"));
     /// ```
@@ -81,6 +124,7 @@ impl TopologyKind {
             "binomial" => Ok(TopologyKind::Binomial),
             "chain" => Ok(TopologyKind::Chain),
             "flat" => Ok(TopologyKind::Flat),
+            "bine" => Ok(TopologyKind::Bine),
             _ => {
                 if let Some(k) = raw.strip_prefix("knomial") {
                     let k: u32 = k.parse().map_err(|_| {
@@ -90,13 +134,55 @@ impl TopologyKind {
                         return Err(format!("ABR_TOPO: knomial radix must be >= 2, got {k}"));
                     }
                     Ok(TopologyKind::Knomial(k))
+                } else if let Some(rest) = raw.strip_prefix("locality") {
+                    Self::parse_locality(rest)
                 } else {
                     Err(format!(
-                        "ABR_TOPO: unknown topology {raw:?} (expected binomial, knomial<k>, chain, or flat)"
+                        "ABR_TOPO: unknown topology {raw:?} (expected binomial, knomial<k>, \
+                         chain, flat, bine, or locality[<R>x<P>][:cyclic|:blocked])"
                     ))
                 }
             }
         }
+    }
+
+    /// Parse the suffix of a `locality...` topology spec (everything after
+    /// the `locality` prefix).
+    fn parse_locality(rest: &str) -> Result<TopologyKind, String> {
+        let (shape, cyclic) = match rest.split_once(':') {
+            None => (rest, true),
+            Some((s, "cyclic")) => (s, true),
+            Some((s, "blocked")) => (s, false),
+            Some((_, p)) => {
+                return Err(format!(
+                    "ABR_TOPO: locality placement suffix must be 'cyclic' or 'blocked', got {p:?}"
+                ))
+            }
+        };
+        let (ranks_per_node, nodes_per_pod) = if shape.is_empty() {
+            (4, 16)
+        } else {
+            let (r, p) = shape.split_once('x').ok_or_else(|| {
+                format!("ABR_TOPO: locality shape must look like '4x16', got {shape:?}")
+            })?;
+            let r: u32 = r.parse().map_err(|_| {
+                format!("ABR_TOPO: locality ranks-per-node must be a number, got {r:?}")
+            })?;
+            let p: u32 = p.parse().map_err(|_| {
+                format!("ABR_TOPO: locality nodes-per-pod must be a number, got {p:?}")
+            })?;
+            if r == 0 || p == 0 {
+                return Err(format!(
+                    "ABR_TOPO: locality shape terms must be >= 1, got {r}x{p}"
+                ));
+            }
+            (r, p)
+        };
+        Ok(TopologyKind::Locality {
+            ranks_per_node,
+            nodes_per_pod,
+            cyclic,
+        })
     }
 
     /// Read `ABR_TOPO` from the environment; `None` when unset, panics
@@ -168,8 +254,177 @@ impl TopologyKind {
                     out.extend(1..size);
                 }
             }
+            TopologyKind::Bine | TopologyKind::Locality { .. } => {
+                unreachable!("whole-tree kinds are built via children_lists")
+            }
         }
     }
+
+    /// Whole-tree child lists (indexed by relative rank) for the kinds
+    /// whose parent rule cannot be evaluated per-rank in isolation;
+    /// `None` for the per-rank families handled by `children_rel`.
+    fn children_lists(self, size: u32) -> Option<Vec<Vec<u32>>> {
+        match self {
+            TopologyKind::Bine => Some(bine_children(size)),
+            TopologyKind::Locality {
+                ranks_per_node,
+                nodes_per_pod,
+                cyclic,
+            } => Some(locality_children(
+                size,
+                ranks_per_node,
+                nodes_per_pod,
+                cyclic,
+            )),
+            _ => None,
+        }
+    }
+}
+
+/// The lowest nonzero term of `r`'s canonical base-(-2) expansion
+/// (`r > 0`): scan negabinary digits from the least significant end and
+/// return `(-2)^j` for the first nonzero digit.
+fn lowest_negabinary_term(r: u32) -> i64 {
+    let mut val = i64::from(r);
+    let mut place: i64 = 1; // (-2)^j
+    loop {
+        debug_assert_ne!(val, 0, "r > 0 has a nonzero negabinary digit");
+        if val.rem_euclid(2) != 0 {
+            return place;
+        }
+        val /= -2;
+        place *= -2;
+    }
+}
+
+/// Bine tree over relative ranks: rank `r` parents onto
+/// `r - lowest_negabinary_term(r)` mod `size`. The rule yields a valid
+/// spanning tree at power-of-two sizes; at arbitrary sizes a few ranks
+/// can self-loop or form cycles after the mod, so any rank BFS cannot
+/// reach from 0 is grafted onto its binomial parent (`r - lsb(r)`,
+/// strictly smaller, so grafting always terminates at 0). Children are
+/// listed nearest-edge-first (by `|term|`, matching the binomial
+/// wait-order convention), ties by rank.
+fn bine_children(size: u32) -> Vec<Vec<u32>> {
+    let n = size as usize;
+    // (parent, |edge distance|) candidate per rank; None = self-loop.
+    let mut cand: Vec<Option<(u32, u64)>> = vec![None; n];
+    for r in 1..size {
+        let term = lowest_negabinary_term(r);
+        let p = (i64::from(r) - term).rem_euclid(i64::from(size)) as u32;
+        if p != r {
+            cand[r as usize] = Some((p, term.unsigned_abs()));
+        }
+    }
+    // Reachability from rank 0 over the candidate edges.
+    let mut cand_children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for r in 1..size {
+        if let Some((p, _)) = cand[r as usize] {
+            cand_children[p as usize].push(r);
+        }
+    }
+    let mut reached = vec![false; n];
+    reached[0] = true;
+    let mut frontier = vec![0u32];
+    while let Some(r) = frontier.pop() {
+        for &c in &cand_children[r as usize] {
+            if !reached[c as usize] {
+                reached[c as usize] = true;
+                frontier.push(c);
+            }
+        }
+    }
+    // Final parent of each rank: the bine candidate if it connects to the
+    // root's component, the binomial parent otherwise.
+    let mut edges: Vec<(u32, u64)> = vec![(u32::MAX, 0); n]; // (parent, weight)
+    for r in 1..size {
+        edges[r as usize] = match cand[r as usize] {
+            Some((p, w)) if reached[r as usize] => (p, w),
+            _ => {
+                let lsb = r & r.wrapping_neg();
+                (r - lsb, u64::from(lsb))
+            }
+        };
+    }
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    let mut order: Vec<u32> = (1..size).collect();
+    order.sort_by_key(|&r| (edges[r as usize].1, r));
+    for r in order {
+        children[edges[r as usize].0 as usize].push(r);
+    }
+    children
+}
+
+/// Locality-greedy tree over relative ranks: group ranks by the node and
+/// pod they land on under the given placement, then reduce binomially
+/// *within* each node (leader = lowest member), binomially among node
+/// leaders within each pod, and binomially among pod leaders at the top.
+/// Relative rank 0 is the lowest rank of its node, its node leads its
+/// pod, and its pod leads the tree, so the root is always rel 0.
+/// Children are listed innermost level first (intra-node, then
+/// intra-pod, then cross-pod): the cheapest edges are waited on first.
+fn locality_children(
+    size: u32,
+    ranks_per_node: u32,
+    nodes_per_pod: u32,
+    cyclic: bool,
+) -> Vec<Vec<u32>> {
+    let n = size as usize;
+    let num_nodes = size.div_ceil(ranks_per_node).max(1);
+    let node_of = |rel: u32| -> u32 {
+        if cyclic {
+            rel % num_nodes
+        } else {
+            rel / ranks_per_node
+        }
+    };
+    // Ranks per node, ascending (iteration order keeps them sorted), so
+    // members[0] is the node leader.
+    let mut members: Vec<Vec<u32>> = vec![Vec::new(); num_nodes as usize];
+    for rel in 0..size {
+        members[node_of(rel) as usize].push(rel);
+    }
+    let mut children: Vec<Vec<u32>> = vec![Vec::new(); n];
+    // Binomial tree over an index space, emitting item-level edges.
+    let link_binomial = |items: &[u32], children: &mut Vec<Vec<u32>>| {
+        let m = items.len() as u32;
+        for i in 0..m {
+            let mut mask = 1u32;
+            while mask < m && i & mask == 0 {
+                let child = i | mask;
+                if child < m {
+                    children[items[i as usize] as usize].push(items[child as usize]);
+                }
+                mask <<= 1;
+            }
+        }
+    };
+    // Level 1: within each occupied node.
+    let mut node_leaders: Vec<Vec<u32>> = Vec::new(); // per pod, ascending
+    for (node, ranks) in members.iter().enumerate() {
+        if ranks.is_empty() {
+            continue;
+        }
+        link_binomial(ranks, &mut children);
+        let pod = node as u32 / nodes_per_pod;
+        if node_leaders.len() <= pod as usize {
+            node_leaders.resize(pod as usize + 1, Vec::new());
+        }
+        node_leaders[pod as usize].push(ranks[0]);
+    }
+    // Level 2: among node leaders within each pod.
+    let mut pod_leaders: Vec<u32> = Vec::new();
+    for leaders in &node_leaders {
+        if leaders.is_empty() {
+            continue;
+        }
+        link_binomial(leaders, &mut children);
+        pod_leaders.push(leaders[0]);
+    }
+    // Level 3: among pod leaders; pod_leaders[0] == 0 is the tree root.
+    debug_assert_eq!(pod_leaders.first().copied(), Some(0));
+    link_binomial(&pod_leaders, &mut children);
+    children
 }
 
 /// Precomputed per-rank schedule for one `(kind, root, size)` tree.
@@ -210,10 +465,16 @@ impl TopoSchedule {
         let mut child_arr = Vec::new();
         let mut kids = Vec::new();
         child_off.push(0);
+        // Per-rank families evaluate children directly; whole-tree
+        // families (bine, locality) precompute every rank's list at once.
+        let whole = kind.children_lists(size);
         for rank in 0..size {
             let rel = tree::rel_rank(rank, root, size);
             kids.clear();
-            kind.children_rel(rel, size, &mut kids);
+            match &whole {
+                Some(lists) => kids.extend_from_slice(&lists[rel as usize]),
+                None => kind.children_rel(rel, size, &mut kids),
+            }
             for &child_rel in &kids {
                 let child = tree::abs_rank(child_rel, root, size);
                 child_arr.push(child);
@@ -411,12 +672,23 @@ impl ScheduleCache {
 mod tests {
     use super::*;
 
-    const ALL_KINDS: [TopologyKind; 5] = [
+    const ALL_KINDS: [TopologyKind; 8] = [
         TopologyKind::Binomial,
         TopologyKind::Knomial(2),
         TopologyKind::Knomial(4),
         TopologyKind::Chain,
         TopologyKind::Flat,
+        TopologyKind::Bine,
+        TopologyKind::Locality {
+            ranks_per_node: 4,
+            nodes_per_pod: 16,
+            cyclic: true,
+        },
+        TopologyKind::Locality {
+            ranks_per_node: 2,
+            nodes_per_pod: 2,
+            cyclic: false,
+        },
     ];
 
     #[test]
@@ -483,6 +755,87 @@ mod tests {
         assert_eq!(f.children_of(0), &[1, 2, 3, 4]);
         assert!((1..5).all(|r| f.is_leaf(r)));
         assert_eq!(f.max_depth(), 1);
+    }
+
+    #[test]
+    fn bine_shape_at_8() {
+        // Hand-derived from the negabinary parent rule: 1,4,6 hang off
+        // the root (distances 1, 4, 2), 4 folds {5, 2}, 2 folds {3},
+        // 6 folds {7}.
+        let s = TopologyKind::Bine.schedule(0, 8);
+        assert_eq!(s.children_of(0), &[1, 6, 4]);
+        assert_eq!(s.children_of(4), &[5, 2]);
+        assert_eq!(s.children_of(2), &[3]);
+        assert_eq!(s.children_of(6), &[7]);
+        assert_eq!(s.parent_of(3), Some(2));
+        assert_eq!(s.max_depth(), 3);
+    }
+
+    #[test]
+    fn bine_spans_at_awkward_sizes() {
+        // Non-power-of-two sizes exercise the binomial-graft fallback.
+        for size in [1u32, 2, 3, 5, 6, 7, 9, 12, 13, 31, 33, 100, 255, 257] {
+            for root in [0, size / 2, size - 1] {
+                let s = TopologyKind::Bine.schedule(root, size);
+                let mut edges = 0;
+                for rank in 0..size {
+                    edges += s.children_of(rank).len() as u32;
+                    let mut cur = rank;
+                    let mut hops = 0;
+                    while let Some(p) = s.parent_of(cur) {
+                        cur = p;
+                        hops += 1;
+                        assert!(hops < size, "cycle at size={size} root={root} rank={rank}");
+                    }
+                    assert_eq!(cur, root);
+                }
+                assert_eq!(edges, size - 1, "size={size} root={root}");
+            }
+        }
+    }
+
+    #[test]
+    fn locality_prefers_intra_node_edges() {
+        // 16 ranks, 4 per node, 2 nodes per pod, blocked placement:
+        // nodes {0-3},{4-7},{8-11},{12-15}; pods {node0,node1},{node2,node3}.
+        let kind = TopologyKind::Locality {
+            ranks_per_node: 4,
+            nodes_per_pod: 2,
+            cyclic: false,
+        };
+        let s = kind.schedule(0, 16);
+        // Rank 0: intra-node binomial children (1, 2), then node leader 4
+        // (same pod), then pod leader 8.
+        assert_eq!(s.children_of(0), &[1, 2, 4, 8]);
+        // Node leader 4 folds its node (5, 6) — no pod/top duties.
+        assert_eq!(s.children_of(4), &[5, 6]);
+        // Pod leader 8 folds its node, then node leader 12.
+        assert_eq!(s.children_of(8), &[9, 10, 12]);
+        // Only node leaders cross nodes: exactly num_nodes - 1 = 3
+        // cross-node edges.
+        let cross_node = (0..16u32)
+            .filter_map(|r| s.parent_of(r).map(|p| (r / 4, p / 4)))
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(cross_node, 3);
+    }
+
+    #[test]
+    fn locality_cyclic_keeps_node_groups_together() {
+        // 32 ranks round-robin over 8 nodes of 4 slots: node(r) = r % 8.
+        let kind = TopologyKind::Locality {
+            ranks_per_node: 4,
+            nodes_per_pod: 4,
+            cyclic: true,
+        };
+        let s = kind.schedule(0, 32);
+        // Every non-leader rank's parent lives on the same node under the
+        // cyclic map, except the 7 node-leader edges.
+        let cross = (0..32u32)
+            .filter_map(|r| s.parent_of(r).map(|p| (r % 8, p % 8)))
+            .filter(|(a, b)| a != b)
+            .count();
+        assert_eq!(cross, 7);
     }
 
     #[test]

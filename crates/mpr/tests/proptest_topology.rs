@@ -11,6 +11,12 @@ fn kind_strategy() -> impl Strategy<Value = TopologyKind> {
         (2u32..8).prop_map(TopologyKind::Knomial),
         Just(TopologyKind::Chain),
         Just(TopologyKind::Flat),
+        Just(TopologyKind::Bine),
+        ((1u32..6), (1u32..6), (0u32..2)).prop_map(|(r, p, c)| TopologyKind::Locality {
+            ranks_per_node: r,
+            nodes_per_pod: p,
+            cyclic: c == 1,
+        }),
     ]
 }
 

@@ -55,6 +55,12 @@ fn push_event(out: &mut String, pid: u32, t_ns: u64, ev: &TraceEvent) {
             Some(nanos),
             format!("\"dst\":{dst},\"nanos\":{nanos}"),
         ),
+        TraceEvent::LinkWait { link, wait_ns } => (
+            "X",
+            "link-wait",
+            Some(wait_ns),
+            format!("\"link\":{link},\"wait_ns\":{wait_ns}"),
+        ),
         TraceEvent::PacketSend { dst, kind, bytes } => (
             "i",
             "send",

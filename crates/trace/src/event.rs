@@ -71,6 +71,15 @@ pub enum TraceEvent {
         /// Segment duration in nanoseconds.
         nanos: u64,
     },
+    /// A packet queued behind earlier traffic on a shared fabric link
+    /// (oversubscribed uplink, router port). Emitted by the contended
+    /// fabric model in `abr_fabric`; absent on the flat crossbar.
+    LinkWait {
+        /// Fabric-assigned link id the packet serialized on.
+        link: u32,
+        /// Time spent queued behind the link's busy clock, nanoseconds.
+        wait_ns: u64,
+    },
     /// A host-signal decision on packet arrival: raised, or suppressed
     /// with a reason.
     Signal {
@@ -121,7 +130,7 @@ impl TraceEvent {
             | TraceEvent::PacketDrop { .. }
             | TraceEvent::Retransmit { .. } => "packet",
             TraceEvent::CpuCharge { .. } => "cpu",
-            TraceEvent::WireSegment { .. } => "wire",
+            TraceEvent::WireSegment { .. } | TraceEvent::LinkWait { .. } => "wire",
             TraceEvent::Signal { .. } => "signal",
             TraceEvent::EngineState { .. }
             | TraceEvent::PhaseEnter { .. }

@@ -54,6 +54,18 @@ ABR_SCALE_MAX=1024 ABR_ITERS=5 ABR_JOBS=2 \
 grep -q '"schema": "abr-scale-v1"' BENCH_scale.json \
   || { echo "BENCH_scale.json missing or malformed"; exit 1; }
 
+echo "==> fabric smoke (512-rank oversubscribed fat-tree fig_fabric)"
+ABR_SCALE_MAX=512 ABR_ITERS=5 ABR_JOBS=2 \
+  cargo run -q --release -p abr_bench --bin fabric_figure > FIG_fabric.txt
+grep -q '"schema": "abr-fabric-v1"' BENCH_fabric.json \
+  || { echo "BENCH_fabric.json missing or malformed"; exit 1; }
+
+echo "==> flat-fabric golden diff (FabricNetwork wrapper must not perturb figures)"
+ABR_FABRIC=flat ABR_TOPO=binomial ABR_ITERS=5 ABR_JOBS=2 \
+  cargo run -q --release -p abr_bench --bin fig6 > FIG6_fabric_flat.txt
+diff -u crates/bench/golden/fig6_iters5.txt FIG6_fabric_flat.txt \
+  || { echo "ABR_FABRIC=flat diverged from the pre-fabric golden"; exit 1; }
+
 echo "==> parallel executor determinism (same figure under 2 and 8 shards)"
 ABR_DES_SHARDS=2 ABR_SCALE_MAX=1024 ABR_ITERS=5 ABR_JOBS=1 \
   ABR_SCALE_JSON=/dev/null \
