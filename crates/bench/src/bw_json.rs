@@ -1,0 +1,188 @@
+//! `BENCH_bw.json`: the large-message bandwidth figure record.
+//!
+//! The `bandwidth_figure` binary sweeps message sizes from 1 KiB up to
+//! `ABR_MSG_BYTES` for blocking (nab) against split-phase bypass (ab)
+//! runs on three collectives — binomial reduce, chain reduce, and the
+//! dual-root doubly-pipelined allreduce — and records every point here:
+//! message size, series, nab/ab wall time and delivered bandwidth, nab/ab
+//! CPU, and the CPU factor of improvement. `peak_ab` names the series
+//! with the highest bypass bandwidth at the largest size — the headline
+//! "segmentation keeps large messages on the bypass path" claim in
+//! machine-checkable form. The JSON is hand-rolled like
+//! `BENCH_sweep.json`; the output path defaults to `BENCH_bw.json` and
+//! can be overridden with `ABR_BW_JSON`.
+
+use crate::sweep_json::FigureRecord;
+
+/// One (message size, series) point of the bandwidth figure.
+#[derive(Debug, Clone)]
+pub struct BwPoint {
+    /// Message size in bytes.
+    pub msg_bytes: usize,
+    /// Series label: `binomial`, `chain`, or `dual-root`.
+    pub series: String,
+    /// Blocking-mode mean post-to-completion wall time (µs).
+    pub nab_wall_us: f64,
+    /// Split-phase bypass mean post-to-completion wall time (µs).
+    pub ab_wall_us: f64,
+    /// Blocking-mode delivered bandwidth (MB/s, decimal).
+    pub nab_bw_mbs: f64,
+    /// Split-phase bypass delivered bandwidth (MB/s, decimal).
+    pub ab_bw_mbs: f64,
+    /// Blocking-mode mean per-iteration host CPU (µs).
+    pub nab_cpu_us: f64,
+    /// Split-phase bypass mean per-iteration host CPU (µs).
+    pub ab_cpu_us: f64,
+    /// CPU factor of improvement (nab / ab).
+    pub foi: f64,
+}
+
+impl BwPoint {
+    /// Delivered bandwidth for a payload completing in `wall_us`
+    /// microseconds: bytes per µs, which is decimal MB/s.
+    pub fn bandwidth_mbs(bytes: usize, wall_us: f64) -> f64 {
+        bytes as f64 / wall_us.max(1e-9)
+    }
+}
+
+/// The output path: `ABR_BW_JSON` or `BENCH_bw.json`.
+///
+/// # Panics
+/// Panics on a set-but-empty `ABR_BW_JSON`.
+pub fn out_path() -> String {
+    abr_trace::parse_env("ABR_BW_JSON", parse_out_path)
+        .unwrap_or_else(|| "BENCH_bw.json".to_string())
+}
+
+/// Validate an explicit `ABR_BW_JSON` value: any non-empty path.
+pub fn parse_out_path(raw: &str) -> Result<String, String> {
+    if raw.trim().is_empty() {
+        Err("ABR_BW_JSON must be a non-empty output path".to_string())
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+/// The series with the highest bypass bandwidth at the largest size.
+pub fn peak_ab(points: &[BwPoint]) -> Option<&BwPoint> {
+    let largest = points.iter().map(|p| p.msg_bytes).max()?;
+    points
+        .iter()
+        .filter(|p| p.msg_bytes == largest)
+        .max_by(|a, b| a.ab_bw_mbs.partial_cmp(&b.ab_bw_mbs).expect("finite"))
+}
+
+/// Render the summary document (schema `abr-bw-v1`).
+pub fn render(window: usize, points: &[BwPoint], fig: &FigureRecord) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"abr-bw-v1\",\n");
+    s.push_str(&format!("  \"segments\": {window},\n"));
+    match peak_ab(points) {
+        Some(b) => s.push_str(&format!(
+            "  \"peak_ab\": {{\"msg_bytes\": {}, \"series\": \"{}\", \"ab_bw_mbs\": {:.2}}},\n",
+            b.msg_bytes, b.series, b.ab_bw_mbs
+        )),
+        None => s.push_str("  \"peak_ab\": null,\n"),
+    }
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"msg_bytes\": {}, \"series\": \"{}\", \"nab_wall_us\": {:.2}, \
+             \"ab_wall_us\": {:.2}, \"nab_bw_mbs\": {:.2}, \"ab_bw_mbs\": {:.2}, \
+             \"nab_cpu_us\": {:.2}, \"ab_cpu_us\": {:.2}, \"foi\": {:.2}}}{}\n",
+            p.msg_bytes,
+            p.series,
+            p.nab_wall_us,
+            p.ab_wall_us,
+            p.nab_bw_mbs,
+            p.ab_bw_mbs,
+            p.nab_cpu_us,
+            p.ab_cpu_us,
+            p.foi,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"figure\": {{\"name\": \"{}\", \"points\": {}, \"wall_ms\": {:.3}}}\n",
+        fig.name, fig.points, fig.wall_ms
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Write the summary to [`out_path`]; prints a notice on success and a
+/// warning (without failing the run) if the write is impossible.
+pub fn write(window: usize, points: &[BwPoint], fig: &FigureRecord) {
+    let path = out_path();
+    match std::fs::write(&path, render(window, points, fig)) {
+        Ok(()) => eprintln!("bandwidth figure record written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(bytes: usize, series: &str, ab_bw: f64) -> BwPoint {
+        BwPoint {
+            msg_bytes: bytes,
+            series: series.to_string(),
+            nab_wall_us: 100.0,
+            ab_wall_us: 80.0,
+            nab_bw_mbs: ab_bw / 2.0,
+            ab_bw_mbs: ab_bw,
+            nab_cpu_us: 90.0,
+            ab_cpu_us: 30.0,
+            foi: 3.0,
+        }
+    }
+
+    #[test]
+    fn render_is_valid_shape_and_picks_peak() {
+        let points = vec![
+            pt(1024, "binomial", 40.0),
+            pt(65536, "chain", 120.0),
+            pt(65536, "dual-root", 200.0),
+        ];
+        let fig = FigureRecord {
+            name: "fig_bandwidth",
+            points: 12,
+            wall_ms: 7.0,
+        };
+        let s = render(8, &points, &fig);
+        assert!(s.contains("\"schema\": \"abr-bw-v1\""));
+        assert!(s.contains("\"segments\": 8"));
+        // Peak is judged at the largest size only.
+        assert!(s.contains("\"peak_ab\": {\"msg_bytes\": 65536, \"series\": \"dual-root\""));
+        assert!(s.contains("\"foi\": 3.00"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+    }
+
+    #[test]
+    fn empty_points_render_null_peak() {
+        let fig = FigureRecord {
+            name: "fig_bandwidth",
+            points: 0,
+            wall_ms: 0.0,
+        };
+        let s = render(1, &[], &fig);
+        assert!(s.contains("\"peak_ab\": null"));
+    }
+
+    #[test]
+    fn bandwidth_guards_zero_wall() {
+        assert!(BwPoint::bandwidth_mbs(1024, 0.0) > 0.0);
+        let bw = BwPoint::bandwidth_mbs(2_000_000, 1000.0);
+        assert!((bw - 2000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn parse_out_path_rejects_empty() {
+        assert_eq!(parse_out_path("x.json"), Ok("x.json".to_string()));
+        assert!(parse_out_path(" ").unwrap_err().contains("ABR_BW_JSON"));
+    }
+}

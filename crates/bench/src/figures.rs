@@ -7,8 +7,9 @@
 //! allows; because every point is a pure function of its config, the
 //! emitted tables are bit-identical at any worker count.
 
+use crate::bw_json::BwPoint;
 use crate::fabric_json::FabricPoint;
-use abr_cluster::microbench::{AppBenchConfig, CpuUtilConfig, LatencyConfig, Mode};
+use abr_cluster::microbench::{AppBenchConfig, BenchColl, CpuUtilConfig, LatencyConfig, Mode};
 use abr_cluster::node::ClusterSpec;
 use abr_cluster::report::{f2, ratio, Table};
 use abr_cluster::sweep::{RunOut, RunSpec, Sweep};
@@ -860,6 +861,149 @@ pub fn fig_fabric_data(iters: u64) -> (Vec<Table>, Vec<FabricPoint>) {
         t_wait.row(wr);
     }
     (vec![t, t_wait], points)
+}
+
+/// The series the bandwidth figure compares: two reduce-tree families
+/// plus the dual-root doubly-pipelined allreduce (which builds its own
+/// chain pair internally; the topology field only shapes the label-free
+/// fallbacks there).
+const BW_SERIES: [(&str, TopologyKind, BenchColl); 3] = [
+    ("binomial", TopologyKind::Binomial, BenchColl::Reduce),
+    ("chain", TopologyKind::Chain, BenchColl::Reduce),
+    ("dual-root", TopologyKind::Chain, BenchColl::DualAllreduce),
+];
+
+/// Ranks in the bandwidth sweep: small on purpose — the figure varies the
+/// message, not the cluster, and 64-MiB chains over 8 ranks already run
+/// thousands of segment reduces per iteration.
+const BW_RANKS: u32 = 8;
+
+/// The segmentation pipeline window the bandwidth figure runs under:
+/// `ABR_SEGMENTS` when set (including an explicit `1` to watch the
+/// unsegmented rendezvous path), otherwise `8` — unlike the paper
+/// figures, this sweep exists to show the pipeline, so the knob's
+/// "off by default" convention is inverted here.
+pub fn bandwidth_window() -> usize {
+    if std::env::var_os("ABR_SEGMENTS").is_some() {
+        abr_cluster::node::segments_from_env()
+    } else {
+        8
+    }
+}
+
+/// Iterations for one bandwidth-figure size: shrink with the payload so
+/// the event count per point stays bounded, never below 2.
+fn bw_iters(iters: u64, bytes: usize) -> u64 {
+    iters.min((4_194_304 / bytes as u64).max(2))
+}
+
+/// The message sizes the bandwidth figure sweeps: powers of four from
+/// 1 KiB up to `ABR_MSG_BYTES` (the cap itself is appended when it is not
+/// already a sweep point, so CI smoke caps land on the exact cap).
+fn bw_sizes() -> Vec<usize> {
+    let cap = crate::msg_bytes();
+    let mut sizes: Vec<usize> = (0..)
+        .map(|i| 1024usize << (2 * i))
+        .take_while(|&b| b <= cap)
+        .collect();
+    if sizes.last() != Some(&cap) {
+        sizes.push(cap);
+    }
+    sizes
+}
+
+/// The bandwidth figure: delivered bandwidth and CPU factor of
+/// improvement vs message size (1 KiB → `ABR_MSG_BYTES`), blocking (nab)
+/// against split-phase bypass (ab), on binomial/chain reduces and the
+/// dual-root allreduce.
+pub fn fig_bandwidth(iters: u64) -> Vec<Table> {
+    fig_bandwidth_data(iters).0
+}
+
+/// [`fig_bandwidth`] plus the per-point records for `BENCH_bw.json`.
+///
+/// Skew, jitter, and the catch-up margin are all zeroed so the recorded
+/// post-to-completion wall time is the collective alone: bandwidth is
+/// `bytes / mean_wall_us` and the FoI is the usual blocking-vs-bypass CPU
+/// ratio. Both modes run the same Lowery–Langou segment plan (the window
+/// from [`bandwidth_window`]); what differs is who drives it — the
+/// blocking engine spins through every segment, the split-phase bypass
+/// engine folds them in handlers.
+pub fn fig_bandwidth_data(iters: u64) -> (Vec<Table>, Vec<BwPoint>) {
+    let window = bandwidth_window();
+    let sizes = bw_sizes();
+    let mut specs = Vec::new();
+    for &bytes in &sizes {
+        let it = bw_iters(iters, bytes);
+        for &(_, topo, coll) in &BW_SERIES {
+            for mode in [Mode::Baseline, Mode::SplitPhase] {
+                specs.push(RunSpec::Cpu(CpuUtilConfig {
+                    elems: (bytes / 8).max(1),
+                    max_skew_us: 0,
+                    natural_jitter_us: 0,
+                    catchup_margin_us: 0,
+                    iters: it,
+                    coll,
+                    record_wall: true,
+                    ..CpuUtilConfig::new(
+                        ClusterSpec::heterogeneous(BW_RANKS)
+                            .with_topology(topo)
+                            .with_segments(window),
+                        mode,
+                    )
+                }));
+            }
+        }
+    }
+    let out = sweep().run_points(&specs);
+    let bw_cols: Vec<String> = std::iter::once("bytes".to_string())
+        .chain(
+            BW_SERIES
+                .iter()
+                .flat_map(|(s, _, _)| [format!("nab-{s}"), format!("ab-{s}")]),
+        )
+        .collect();
+    let mut t_bw = Table::new(
+        format!("Bandwidth vs message size ({BW_RANKS} ranks, window {window}, MB/s)"),
+        &bw_cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let foi_cols: Vec<String> = std::iter::once("bytes".to_string())
+        .chain(BW_SERIES.iter().map(|(s, _, _)| format!("foi-{s}")))
+        .collect();
+    let mut t_foi = Table::new(
+        format!("CPU factor of improvement vs message size ({BW_RANKS} ranks, window {window})"),
+        &foi_cols.iter().map(String::as_str).collect::<Vec<_>>(),
+    );
+    let mut points = Vec::new();
+    let w = BW_SERIES.len();
+    for (row, &bytes) in sizes.iter().enumerate() {
+        let cells = &out[row * 2 * w..(row + 1) * 2 * w];
+        let mut bw_row = vec![bytes.to_string()];
+        let mut foi_row = vec![bytes.to_string()];
+        for (si, (series, _, _)) in BW_SERIES.iter().enumerate() {
+            let nab = cells[si * 2].cpu();
+            let ab = cells[si * 2 + 1].cpu();
+            let nab_bw = BwPoint::bandwidth_mbs(bytes, nab.mean_wall_us);
+            let ab_bw = BwPoint::bandwidth_mbs(bytes, ab.mean_wall_us);
+            bw_row.push(f2(nab_bw));
+            bw_row.push(f2(ab_bw));
+            foi_row.push(ratio(nab.mean_cpu_us, ab.mean_cpu_us));
+            points.push(BwPoint {
+                msg_bytes: bytes,
+                series: series.to_string(),
+                nab_wall_us: nab.mean_wall_us,
+                ab_wall_us: ab.mean_wall_us,
+                nab_bw_mbs: nab_bw,
+                ab_bw_mbs: ab_bw,
+                nab_cpu_us: nab.mean_cpu_us,
+                ab_cpu_us: ab.mean_cpu_us,
+                foi: nab.mean_cpu_us / ab.mean_cpu_us.max(1e-9),
+            });
+        }
+        t_bw.row(bw_row);
+        t_foi.row(foi_row);
+    }
+    (vec![t_bw, t_foi], points)
 }
 
 /// One sweep point per mode under an explicit [`FaultPlan`] (the

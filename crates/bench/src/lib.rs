@@ -11,6 +11,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bw_json;
 pub mod fabric_json;
 pub mod figures;
 pub mod scale_json;
@@ -56,6 +57,27 @@ pub fn parse_scale_max(raw: &str) -> Result<u32, String> {
     }
 }
 
+/// Largest message the bandwidth figure sweeps, in bytes, from
+/// `ABR_MSG_BYTES` (default 64 MiB). CI caps this to keep the smoke run
+/// fast.
+///
+/// # Panics
+/// Panics on a set-but-invalid `ABR_MSG_BYTES` (non-numeric or zero).
+pub fn msg_bytes() -> usize {
+    abr_trace::parse_env("ABR_MSG_BYTES", parse_msg_bytes).unwrap_or(64 * 1024 * 1024)
+}
+
+/// Parse an explicit `ABR_MSG_BYTES` value: a positive byte count.
+pub fn parse_msg_bytes(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(0) => Err("ABR_MSG_BYTES must be a positive byte count, got 0".to_string()),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "ABR_MSG_BYTES must be a positive byte count, got {raw:?}"
+        )),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -67,6 +89,16 @@ mod tests {
         for bad in ["0", "", "big", "-1"] {
             let err = parse_scale_max(bad).unwrap_err();
             assert!(err.contains("ABR_SCALE_MAX"), "{bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn parse_msg_bytes_accepts_positive_and_rejects_junk() {
+        assert_eq!(parse_msg_bytes("67108864"), Ok(67_108_864));
+        assert_eq!(parse_msg_bytes(" 1024 "), Ok(1024));
+        for bad in ["0", "", "64M", "-1"] {
+            let err = parse_msg_bytes(bad).unwrap_err();
+            assert!(err.contains("ABR_MSG_BYTES"), "{bad:?}: {err}");
         }
     }
 

@@ -774,6 +774,13 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
                     self.rank[l].split_req = Some(req);
                     // Not a blocking call: fall through to the next step.
                 }
+                Step::AllreduceDualSplit { op, dtype, data } => {
+                    let comm = self.engines[l].world();
+                    let req = self.engines[l].iallreduce_dual_split(&comm, op, dtype, &data);
+                    t = self.finish_call(i, t);
+                    self.rank[l].split_req = Some(req);
+                    // Not a blocking call: fall through to the next step.
+                }
                 Step::WaitSplit => {
                     let Some(req) = self.rank[l].split_req.take() else {
                         continue;
@@ -854,6 +861,7 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
                 data,
             } => e.ireduce(&comm, root, op, dtype, &data),
             Step::Allreduce { op, dtype, data } => e.iallreduce(&comm, op, dtype, &data),
+            Step::AllreduceDual { op, dtype, data } => e.iallreduce_dual(&comm, op, dtype, &data),
             Step::Bcast { root, data, len } => e.ibcast(&comm, root, data, len),
             Step::Barrier => e.ibarrier(&comm),
             Step::Send { dst, tag, data } => e.isend(&comm, dst, tag, data),
@@ -1048,6 +1056,7 @@ impl<E: MessageEngine, P: Program> DesDriver<E, P> {
             allreduce_rs_threshold: 2048,
             topology: spec.topology,
             shared_schedules: true,
+            segments: spec.segments,
         };
         tune(&mut config);
         let core = Core {

@@ -401,6 +401,42 @@ impl RankCtx {
         }
     }
 
+    /// Blocking dual-root doubly-pipelined allreduce (Träff): both halves
+    /// of the vector travel opposite-direction chains concurrently. Every
+    /// rank gets the result; small vectors fall back to the plain
+    /// allreduce.
+    pub fn allreduce_dual(
+        &self,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> Result<Bytes, MprError> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.iallreduce_dual(&comm, op, dtype, data));
+        match self.block_on(req) {
+            Some(Outcome::Data(d)) => Ok(d),
+            Some(Outcome::Failed(e)) => Err(e),
+            other => panic!("allreduce_dual completed without data: {other:?}"),
+        }
+    }
+
+    /// Split-phase dual-root allreduce; waited on like the other split
+    /// handles, completes with the reduced vector on every rank.
+    pub fn allreduce_dual_split(
+        &self,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> SplitReduce<'_> {
+        let comm = self.world();
+        let req = self
+            .shared
+            .with_engine(|e| e.iallreduce_dual_split(&comm, op, dtype, data));
+        SplitReduce { ctx: self, req }
+    }
+
     /// Split-phase application-bypass broadcast (ref. \[8\]): returns a
     /// handle immediately; interior forwarding happens in the dispatcher's
     /// signal path while this thread computes.
@@ -710,6 +746,7 @@ pub fn run_live_traced<R: Send>(
                 allreduce_rs_threshold: 2048,
                 topology: spec.topology,
                 shared_schedules: true,
+                segments: spec.segments,
             };
             let mut state = RankState {
                 eng: AbEngine::new(r, n, config, ab.clone()),

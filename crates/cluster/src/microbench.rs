@@ -56,6 +56,16 @@ impl Mode {
     }
 }
 
+/// Which collective the CPU-utilization benchmark exercises.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchColl {
+    /// The paper's rooted reduction (the default everywhere).
+    Reduce,
+    /// Träff's dual-root doubly-pipelined allreduce (the bandwidth
+    /// figure's third series).
+    DualAllreduce,
+}
+
 /// CPU-utilization benchmark parameters.
 #[derive(Debug, Clone)]
 pub struct CpuUtilConfig {
@@ -85,6 +95,14 @@ pub struct CpuUtilConfig {
     /// Fault plan injected into the network ([`FaultPlan::none`] = clean
     /// wire, zero-cost).
     pub faults: FaultPlan,
+    /// Collective under test ([`BenchColl::Reduce`] reproduces the paper's
+    /// microbenchmark; the bandwidth figure also sweeps the dual-root
+    /// allreduce).
+    pub coll: BenchColl,
+    /// Record the per-iteration wall time of the collective (post to
+    /// completion) as an `"iter_wall_us"` observation. Off by default: the
+    /// paper's figures measure CPU, not wall, and skew makes wall noisy.
+    pub record_wall: bool,
 }
 
 impl CpuUtilConfig {
@@ -101,6 +119,8 @@ impl CpuUtilConfig {
             catchup_margin_us: 400,
             natural_jitter_us: 40,
             faults: FaultPlan::none(),
+            coll: BenchColl::Reduce,
+            record_wall: false,
         }
     }
 }
@@ -125,6 +145,9 @@ pub struct CpuUtilResult {
     pub p95_us: f64,
     /// Worst observed per-reduction CPU (µs).
     pub max_us: f64,
+    /// Mean per-iteration collective wall time (µs); zero unless
+    /// [`CpuUtilConfig::record_wall`] was set.
+    pub mean_wall_us: f64,
     /// Total NIC-processor time across the run (µs) — zero unless the
     /// NIC-offload extension is active.
     pub nic_us_total: f64,
@@ -152,6 +175,57 @@ struct CpuUtilProgram {
     iter: u64,
     phase: u8,
     cur_skew: SimDuration,
+    coll: BenchColl,
+    record_wall: bool,
+    t_coll: SimTime,
+}
+
+impl CpuUtilProgram {
+    /// This rank's contribution for the iteration.
+    fn payload(&self) -> Vec<u8> {
+        f64s_to_bytes(&vec![self.rank as f64 + 1.0; self.elems])
+    }
+
+    /// The blocking collective under test.
+    fn blocking_step(&self) -> Step {
+        match self.coll {
+            BenchColl::Reduce => Step::Reduce {
+                root: self.root,
+                op: ReduceOp::Sum,
+                dtype: Datatype::F64,
+                data: self.payload(),
+            },
+            BenchColl::DualAllreduce => Step::AllreduceDual {
+                op: ReduceOp::Sum,
+                dtype: Datatype::F64,
+                data: self.payload(),
+            },
+        }
+    }
+
+    /// The split-phase collective under test.
+    fn split_step(&self) -> Step {
+        match self.coll {
+            BenchColl::Reduce => Step::ReduceSplit {
+                root: self.root,
+                op: ReduceOp::Sum,
+                dtype: Datatype::F64,
+                data: self.payload(),
+            },
+            BenchColl::DualAllreduce => Step::AllreduceDualSplit {
+                op: ReduceOp::Sum,
+                dtype: Datatype::F64,
+                data: self.payload(),
+            },
+        }
+    }
+
+    /// Record the post-to-completion wall time if asked to.
+    fn record_wall_obs(&self, ctx: &mut StepCtx) {
+        if self.record_wall {
+            ctx.record("iter_wall_us", (ctx.now - self.t_coll).as_us_f64());
+        }
+    }
 }
 
 impl Program for CpuUtilProgram {
@@ -175,14 +249,11 @@ impl Program for CpuUtilProgram {
                 }
                 2 => {
                     self.phase = 3;
-                    return Step::Reduce {
-                        root: self.root,
-                        op: ReduceOp::Sum,
-                        dtype: Datatype::F64,
-                        data: f64s_to_bytes(&vec![self.rank as f64 + 1.0; self.elems]),
-                    };
+                    self.t_coll = ctx.now;
+                    return self.blocking_step();
                 }
                 3 => {
+                    self.record_wall_obs(ctx);
                     self.phase = 4;
                     return Step::Busy(self.catchup);
                 }
@@ -244,12 +315,8 @@ impl Program for SplitUtilProgram {
                 }
                 2 => {
                     p.phase = 3;
-                    return Step::ReduceSplit {
-                        root: p.root,
-                        op: ReduceOp::Sum,
-                        dtype: Datatype::F64,
-                        data: f64s_to_bytes(&vec![p.rank as f64 + 1.0; p.elems]),
-                    };
+                    p.t_coll = ctx.now;
+                    return p.split_step();
                 }
                 3 => {
                     p.phase = 4;
@@ -260,6 +327,7 @@ impl Program for SplitUtilProgram {
                     return Step::WaitSplit;
                 }
                 5 => {
+                    p.record_wall_obs(ctx);
                     p.phase = 6;
                     return Step::WindowStop;
                 }
@@ -301,6 +369,9 @@ fn cpu_util_program(cfg: &CpuUtilConfig, rank: u32) -> CpuUtilProgram {
         iter: 0,
         phase: 0,
         cur_skew: SimDuration::ZERO,
+        coll: cfg.coll,
+        record_wall: cfg.record_wall,
+        t_coll: SimTime::ZERO,
     }
 }
 
@@ -324,13 +395,20 @@ fn split_util_programs(cfg: &CpuUtilConfig) -> Vec<SplitUtilProgram> {
 fn aggregate_cpu(nodes: Vec<NodeResult>) -> CpuUtilResult {
     let mut per_node_us = Vec::with_capacity(nodes.len());
     let mut grand = Accumulator::new();
+    let mut wall = Accumulator::new();
     let mut samples = Vec::new();
     for node in &nodes {
         let mut acc = Accumulator::new();
-        for o in node.obs.iter().filter(|o| o.key == "cpu_util_us") {
-            acc.push(o.value);
-            grand.push(o.value);
-            samples.push(o.value);
+        for o in &node.obs {
+            match o.key {
+                "cpu_util_us" => {
+                    acc.push(o.value);
+                    grand.push(o.value);
+                    samples.push(o.value);
+                }
+                "iter_wall_us" => wall.push(o.value),
+                _ => {}
+            }
         }
         per_node_us.push(acc.mean());
     }
@@ -366,6 +444,7 @@ fn aggregate_cpu(nodes: Vec<NodeResult>) -> CpuUtilResult {
         p50_us,
         p95_us,
         max_us,
+        mean_wall_us: wall.mean(),
         nic_us_total,
         rel: None,
         link_waits: 0,
@@ -574,6 +653,9 @@ pub fn run_bcast_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
                 iter: 0,
                 phase: 0,
                 cur_skew: SimDuration::ZERO,
+                coll: BenchColl::Reduce,
+                record_wall: false,
+                t_coll: SimTime::ZERO,
             },
             split,
         })

@@ -29,6 +29,27 @@ pub struct ClusterSpec {
     /// `ABR_FABRIC` / `ABR_OVERSUB` knobs (ideal crossbar when unset);
     /// override per spec with [`ClusterSpec::with_fabric`].
     pub fabric: FabricSpec,
+    /// Pipeline window for segmented reductions. Constructors read the
+    /// process-wide `ABR_SEGMENTS` knob (`1` when unset, which disables
+    /// segmentation and keeps every figure byte-identical); override per
+    /// spec with [`ClusterSpec::with_segments`].
+    pub segments: usize,
+}
+
+/// Read the process-wide `ABR_SEGMENTS` pipeline window (>= 1); `1`
+/// (segmentation off) when unset, fail-fast on an invalid value.
+pub fn segments_from_env() -> usize {
+    abr_trace::parse_env("ABR_SEGMENTS", |raw| {
+        let n: usize = raw
+            .trim()
+            .parse()
+            .map_err(|_| format!("ABR_SEGMENTS: expected a positive integer, got {raw:?}"))?;
+        if n == 0 {
+            return Err("ABR_SEGMENTS: window must be >= 1".to_string());
+        }
+        Ok(n)
+    })
+    .unwrap_or(1)
 }
 
 impl ClusterSpec {
@@ -61,6 +82,7 @@ impl ClusterSpec {
             eager_limit: 16 * 1024,
             topology: TopologyKind::from_env_or_default(),
             fabric: FabricSpec::from_env_or_flat(),
+            segments: segments_from_env(),
         }
     }
 
@@ -72,6 +94,7 @@ impl ClusterSpec {
             eager_limit: 16 * 1024,
             topology: TopologyKind::from_env_or_default(),
             fabric: FabricSpec::from_env_or_flat(),
+            segments: segments_from_env(),
         }
     }
 
@@ -83,6 +106,7 @@ impl ClusterSpec {
             eager_limit: 16 * 1024,
             topology: TopologyKind::from_env_or_default(),
             fabric: FabricSpec::from_env_or_flat(),
+            segments: segments_from_env(),
         }
     }
 
@@ -111,6 +135,16 @@ impl ClusterSpec {
     /// Replace the interconnect model (the fabric-contention figure).
     pub fn with_fabric(mut self, fabric: FabricSpec) -> Self {
         self.fabric = fabric;
+        self
+    }
+
+    /// Replace the segmentation pipeline window (the bandwidth figure).
+    ///
+    /// # Panics
+    /// Panics if `window` is zero (a pipeline needs at least one slot).
+    pub fn with_segments(mut self, window: usize) -> Self {
+        assert!(window >= 1, "segment window must be >= 1");
+        self.segments = window;
         self
     }
 }

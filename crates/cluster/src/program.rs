@@ -62,6 +62,29 @@ pub enum Step {
         /// This rank's contribution.
         data: Vec<u8>,
     },
+    /// Blocking dual-root doubly-pipelined allreduce (Träff): the vector is
+    /// halved and reduced along a chain and its reverse concurrently, so
+    /// both directions of every link carry traffic. Falls back to the plain
+    /// allreduce algorithm when the communicator or vector is too small.
+    AllreduceDual {
+        /// Operator.
+        op: ReduceOp,
+        /// Element type.
+        dtype: Datatype,
+        /// This rank's contribution.
+        data: Vec<u8>,
+    },
+    /// Post a split-phase dual-root allreduce; waited on with
+    /// [`Step::WaitSplit`] like the split reduce. The reduced vector is
+    /// delivered to every rank's next-step context.
+    AllreduceDualSplit {
+        /// Operator.
+        op: ReduceOp,
+        /// Element type.
+        dtype: Datatype,
+        /// This rank's contribution.
+        data: Vec<u8>,
+    },
     /// Blocking broadcast.
     Bcast {
         /// Root rank.

@@ -35,11 +35,13 @@ use abr_mpr::charge::Charges;
 use abr_mpr::engine::{Action, Engine, EngineConfig, MessageEngine};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::request::Outcome;
+use abr_mpr::topology::{shared_schedule, TopoSchedule, TopologyKind};
 use abr_mpr::types::{coll_code, coll_tag, coll_tag_code, Datatype, Rank, TagSel};
 use abr_mpr::{Communicator, ReqId};
 use abr_trace::{TraceEvent, TraceHandle};
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Configuration of the bypass layer.
 #[derive(Debug, Clone)]
@@ -104,6 +106,13 @@ pub struct AbEngine {
     /// In-flight split-phase allreduces (§II extension): reduce-to-0 then
     /// broadcast, both bypassed, chained by the progress paths.
     split_allreduces: Vec<SplitAllreduce>,
+    /// In-flight segmented bypassed reductions: each segment is an
+    /// independent per-segment split reduce; the master admits segments up
+    /// to the pipeline window and concatenates results at the root.
+    seg_splits: Vec<SegSplit>,
+    /// In-flight bypassed dual-root allreduces: two opposite-direction
+    /// chain halves, each a per-segment reduce→bcast pipeline.
+    dual_splits: Vec<DualSplit>,
     /// Highest reliability sequence seen per source (see
     /// [`AbStats::duplicates_suppressed`]); independent of the inner
     /// engine's map, which only ever sees the packets we forward.
@@ -118,6 +127,73 @@ struct SplitAllreduce {
     bcast_seq: u64,
     phase1: Option<ReqId>,
     phase2: Option<ReqId>,
+}
+
+/// One segmented (pipelined) bypassed reduction. Each segment runs as an
+/// independent split-phase reduce on its own pre-allocated sequence
+/// number, so segment `i` at this rank is wire-compatible with segment
+/// `i` of the stock pipeline running on fallback ranks. At most `window`
+/// segments are in flight; new ones are admitted as older ones drain.
+struct SegSplit {
+    shell: ReqId,
+    comm: Communicator,
+    root: Rank,
+    op: ReduceOp,
+    dtype: Datatype,
+    data: Vec<u8>,
+    base_seq: u64,
+    k: usize,
+    seg_bytes: usize,
+    window: usize,
+    started: usize,
+    done: usize,
+    /// In-flight per-segment requests (index = segment).
+    subs: Vec<Option<ReqId>>,
+    /// Per-segment results (root only; interior ranks complete `Done`).
+    results: Vec<Option<Bytes>>,
+}
+
+/// Per-segment position inside one dual-root half's reduce→bcast chain.
+enum DualSegState {
+    /// Not yet admitted to the pipeline window.
+    Pending,
+    /// Reduce toward the half's chain root in flight.
+    Reduce(ReqId),
+    /// Broadcast back down the chain in flight.
+    Bcast(ReqId),
+    /// Segment result landed in `results`.
+    Done,
+}
+
+/// One half of a bypassed dual-root allreduce: a byte range of the
+/// payload pipelined over a chain schedule (L toward rank 0, H toward
+/// rank `size - 1`).
+struct DualHalfSplit {
+    offset: usize,
+    len: usize,
+    root: Rank,
+    sched: Arc<TopoSchedule>,
+    reduce_base_seq: u64,
+    bcast_base_seq: u64,
+    k: usize,
+    seg_bytes: usize,
+    started: usize,
+    done: usize,
+    segs: Vec<DualSegState>,
+    results: Vec<Option<Bytes>>,
+}
+
+/// A bypassed dual-root doubly-pipelined allreduce (Träff): both halves
+/// progress concurrently so both directions of every chain link carry
+/// traffic; each rank is interior in one half and root/leaf in the other.
+struct DualSplit {
+    shell: ReqId,
+    comm: Communicator,
+    op: ReduceOp,
+    dtype: Datatype,
+    data: Vec<u8>,
+    window: usize,
+    halves: [DualHalfSplit; 2],
 }
 
 impl AbEngine {
@@ -140,6 +216,8 @@ impl AbEngine {
             stats: AbStats::default(),
             hints: HashMap::new(),
             split_allreduces: Vec::new(),
+            seg_splits: Vec::new(),
+            dual_splits: Vec::new(),
             last_rel_seq: HashMap::new(),
         }
     }
@@ -214,6 +292,10 @@ impl AbEngine {
     ///
     /// Falls back to the stock path for over-eager-limit messages and for
     /// leaves (whose only action is a send, completing immediately).
+    ///
+    /// Large payloads under an [`EngineConfig::segments`] window of 2+
+    /// segment instead of falling back: each eager-sized segment is an
+    /// independent split reduce, pipelined up the same tree.
     pub fn ireduce_split(
         &mut self,
         comm: &Communicator,
@@ -223,6 +305,16 @@ impl AbEngine {
         data: &[u8],
     ) -> ReqId {
         comm.check_rank(root).expect("invalid root");
+        // The plan depends only on configuration shared by every rank, so
+        // all ranks agree on the segment count (and thus on how many
+        // sequence numbers this collective consumes) before any rank-local
+        // mode decision.
+        let (k, seg_bytes) = self
+            .inner
+            .segment_plan(root, comm.size, data.len(), dtype.size());
+        if k >= 2 {
+            return self.ireduce_segmented(comm, root, op, dtype, data, k, seg_bytes, true);
+        }
         let seq = self.inner.alloc_coll_seq(comm.coll_context);
         self.ireduce_split_with_seq(comm, root, op, dtype, data, seq)
     }
@@ -239,25 +331,42 @@ impl AbEngine {
         data: &[u8],
         seq: u64,
     ) -> ReqId {
+        let sched = self.inner.schedule(root, comm.size);
+        self.ireduce_split_with_seq_sched(comm, root, op, dtype, data, seq, sched)
+    }
+
+    /// As [`AbEngine::ireduce_split_with_seq`] against an explicit schedule
+    /// (the dual-root halves reduce over chain schedules regardless of the
+    /// configured topology).
+    #[allow(clippy::too_many_arguments)] // mirrors ireduce_split_with_seq + sched
+    fn ireduce_split_with_seq_sched(
+        &mut self,
+        comm: &Communicator,
+        root: Rank,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+        seq: u64,
+        sched: Arc<TopoSchedule>,
+    ) -> ReqId {
         let rank = self.inner.rank();
         if !self.config.enabled || data.len() > self.inner.eager_limit() {
             self.stats.fallback_large += u64::from(self.config.enabled);
             self.stats.fallback_disabled += u64::from(!self.config.enabled);
             return self
                 .inner
-                .ireduce_with_seq(comm, root, op, dtype, data, seq);
+                .ireduce_with_seq_sched(comm, root, op, dtype, data, seq, sched);
         }
-        let sched = self.inner.schedule(root, comm.size);
         if sched.is_leaf(rank) || comm.size == 1 {
             // A leaf's only action is the send; the stock path already
             // completes it without blocking. Size-1: trivially complete.
             return self
                 .inner
-                .ireduce_with_seq(comm, root, op, dtype, data, seq);
+                .ireduce_with_seq_sched(comm, root, op, dtype, data, seq, sched);
         }
         self.stats.split_phase_started += 1;
         let parent = sched.parent_of(rank);
-        self.ab_reduce_start(comm, root, op, dtype, data, seq, parent, true)
+        self.ab_reduce_start(comm, root, op, dtype, data, seq, parent, true, sched)
     }
 
     /// Application-bypass broadcast (the companion system of ref. \[8\]): the
@@ -288,12 +397,29 @@ impl AbEngine {
         len: usize,
         seq: u64,
     ) -> ReqId {
+        let sched = self.inner.schedule(root, comm.size);
+        self.ibcast_split_with_seq_sched(comm, root, data, len, seq, sched)
+    }
+
+    /// As [`AbEngine::ibcast_split_with_seq`] against an explicit schedule
+    /// (the dual-root halves broadcast over chain schedules regardless of
+    /// the configured topology).
+    fn ibcast_split_with_seq_sched(
+        &mut self,
+        comm: &Communicator,
+        root: Rank,
+        data: Option<Bytes>,
+        len: usize,
+        seq: u64,
+        sched: Arc<TopoSchedule>,
+    ) -> ReqId {
         let rank = self.inner.rank();
         if !self.config.enabled || len > self.inner.eager_limit() {
-            return self.inner.ibcast_with_seq(comm, root, data, len, seq);
+            return self
+                .inner
+                .ibcast_with_seq_sched(comm, root, data, len, seq, sched);
         }
         self.stats.bcast_splits += 1;
-        let sched = self.inner.schedule(root, comm.size);
         if rank == root {
             let payload = data.expect("the root supplies bcast data");
             debug_assert_eq!(payload.len(), len);
@@ -436,6 +562,386 @@ impl AbEngine {
         }
     }
 
+    /// Shared body of the segmented reduce paths (blocking and split): one
+    /// sequence number per segment, stock segmented pipeline on the §V-B
+    /// fallback ranks, a [`SegSplit`] master of per-segment bypassed
+    /// reduces everywhere else. The two are wire-compatible because both
+    /// tag segment `i` with `base_seq + i`.
+    #[allow(clippy::too_many_arguments)] // mirrors ireduce + the segment plan
+    fn ireduce_segmented(
+        &mut self,
+        comm: &Communicator,
+        root: Rank,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+        k: usize,
+        seg_bytes: usize,
+        split: bool,
+    ) -> ReqId {
+        // Reserve the block even on fallback ranks: every rank must consume
+        // the same count to keep later instances' tags aligned.
+        let base_seq = self.inner.alloc_seq_range(comm.coll_context, k);
+        let rank = self.inner.rank();
+        if !self.config.enabled {
+            self.stats.fallback_disabled += 1;
+            return self
+                .inner
+                .ireduce_segmented_with_seqs(comm, root, op, dtype, data, base_seq, k, seg_bytes);
+        }
+        let sched = self.inner.schedule(root, comm.size);
+        if (!split && rank == root) || sched.is_leaf(rank) {
+            // Same §V-B fallbacks as the single-segment path; the stock
+            // pipeline reuses the pre-allocated sequence block so its
+            // per-segment tags match the bypassed ranks' exactly.
+            if !split && rank == root {
+                self.stats.fallback_root += 1;
+            } else {
+                self.stats.fallback_leaf += 1;
+            }
+            return self
+                .inner
+                .ireduce_segmented_with_seqs(comm, root, op, dtype, data, base_seq, k, seg_bytes);
+        }
+        self.stats.seg_reductions += 1;
+        if !split {
+            self.stats.ab_reductions += 1;
+        }
+        let shell = self.inner.alloc_shell_req();
+        self.seg_splits.push(SegSplit {
+            shell,
+            comm: *comm,
+            root,
+            op,
+            dtype,
+            data: data.to_vec(),
+            base_seq,
+            k,
+            seg_bytes,
+            window: self.inner.segment_window(),
+            started: 0,
+            done: 0,
+            subs: vec![None; k],
+            results: vec![None; k],
+        });
+        self.step_seg_splits();
+        shell
+    }
+
+    /// Advance the segmented-reduction masters: admit segments while the
+    /// pipeline window has room, reap completed per-segment requests, and
+    /// complete the shell when the last segment drains. Called from every
+    /// progress path.
+    fn step_seg_splits(&mut self) {
+        if self.seg_splits.is_empty() {
+            return;
+        }
+        // Detach the list so per-segment posts (which re-enter the engine)
+        // can never alias it.
+        let mut list = std::mem::take(&mut self.seg_splits);
+        let mut i = 0;
+        while i < list.len() {
+            let mut failed = None;
+            loop {
+                let mut advanced = false;
+                // Admit segments while the window has room.
+                while failed.is_none() {
+                    let e = &list[i];
+                    if e.started - e.done >= e.window || e.started >= e.k {
+                        break;
+                    }
+                    let s = e.started;
+                    let lo = s * e.seg_bytes;
+                    let hi = (lo + e.seg_bytes).min(e.data.len());
+                    let (comm, root, op, dtype) = (e.comm, e.root, e.op, e.dtype);
+                    let seq = e.base_seq + s as u64;
+                    self.inner.tracer().emit(TraceEvent::SegPhaseEnter {
+                        phase: "seg-split",
+                        seg: s as u32,
+                    });
+                    let sub = self.ireduce_split_with_seq(
+                        &comm,
+                        root,
+                        op,
+                        dtype,
+                        &list[i].data[lo..hi],
+                        seq,
+                    );
+                    let e = &mut list[i];
+                    e.started += 1;
+                    e.subs[s] = Some(sub);
+                    advanced = true;
+                }
+                // Reap completed segments.
+                for s in 0..list[i].started {
+                    let Some(sub) = list[i].subs[s] else { continue };
+                    if !self.inner.test(sub) {
+                        continue;
+                    }
+                    let out = self.inner.take_outcome(sub);
+                    let e = &mut list[i];
+                    e.subs[s] = None;
+                    e.done += 1;
+                    match out {
+                        Some(Outcome::Data(d)) => e.results[s] = Some(d),
+                        Some(Outcome::Done) | None => {}
+                        Some(Outcome::Failed(err)) => failed = Some(err),
+                    }
+                    self.inner.tracer().emit(TraceEvent::SegPhaseExit {
+                        phase: "seg-split",
+                        seg: s as u32,
+                    });
+                    advanced = true;
+                }
+                if !advanced || failed.is_some() {
+                    break;
+                }
+            }
+            if let Some(err) = failed {
+                let shell = list.remove(i).shell;
+                self.inner.complete_shell(shell, Outcome::Failed(err));
+                continue;
+            }
+            if list[i].done == list[i].k {
+                let e = list.remove(i);
+                if self.inner.rank() == e.root {
+                    // Split-phase root: concatenate the segment results.
+                    let total = e
+                        .results
+                        .iter()
+                        .map(|r| r.as_ref().map_or(0, |b| b.len()))
+                        .sum();
+                    let mut out = Vec::with_capacity(total);
+                    for r in e.results {
+                        out.extend_from_slice(&r.expect("root holds every segment result"));
+                    }
+                    self.inner
+                        .complete_shell(e.shell, Outcome::Data(Bytes::from(out)));
+                } else {
+                    self.inner.complete_shell(e.shell, Outcome::Done);
+                }
+                continue;
+            }
+            i += 1;
+        }
+        let mut reentrant = std::mem::replace(&mut self.seg_splits, list);
+        self.seg_splits.append(&mut reentrant);
+    }
+
+    /// Split-phase dual-root doubly-pipelined allreduce (Träff): the
+    /// bypassed counterpart of [`Engine::iallreduce_dual`]. The payload
+    /// splits into element-aligned halves pipelined over opposite-direction
+    /// chains; each segment is a bypassed reduce chained into a bypassed
+    /// broadcast, and the request completes with the full reduced vector on
+    /// every rank.
+    pub fn iallreduce_dual_split(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> ReqId {
+        let elem = dtype.size();
+        let lo_len = data.len() / elem / 2 * elem;
+        let hi_len = data.len() - lo_len;
+        if !self.config.enabled || comm.size < 2 || lo_len == 0 || hi_len == 0 {
+            // Too small to split (or bypass is off): the stock dual-root
+            // path degrades identically on every rank.
+            return MessageEngine::iallreduce_dual(self, comm, op, dtype, data);
+        }
+        self.stats.dual_allreduce_splits += 1;
+        let sched_l = shared_schedule(TopologyKind::Chain, 0, comm.size);
+        let sched_h = shared_schedule(TopologyKind::ChainRev, comm.size - 1, comm.size);
+        let (k_l, seg_l) = self.inner.plan_segments(lo_len, elem, sched_l.max_depth());
+        let (k_h, seg_h) = self.inner.plan_segments(hi_len, elem, sched_h.max_depth());
+        // Same fixed allocation order as the stock dual-root path:
+        // [L reduce][L bcast][H reduce][H bcast].
+        let ctx = comm.coll_context;
+        let l_red = self.inner.alloc_seq_range(ctx, k_l);
+        let l_bc = self.inner.alloc_seq_range(ctx, k_l);
+        let h_red = self.inner.alloc_seq_range(ctx, k_h);
+        let h_bc = self.inner.alloc_seq_range(ctx, k_h);
+        let shell = self.inner.alloc_shell_req();
+        let half = |offset: usize,
+                    len: usize,
+                    root: Rank,
+                    sched: Arc<TopoSchedule>,
+                    red: u64,
+                    bc: u64,
+                    k: usize,
+                    seg_bytes: usize| DualHalfSplit {
+            offset,
+            len,
+            root,
+            sched,
+            reduce_base_seq: red,
+            bcast_base_seq: bc,
+            k,
+            seg_bytes,
+            started: 0,
+            done: 0,
+            segs: (0..k).map(|_| DualSegState::Pending).collect(),
+            results: vec![None; k],
+        };
+        self.dual_splits.push(DualSplit {
+            shell,
+            comm: *comm,
+            op,
+            dtype,
+            data: data.to_vec(),
+            window: self.inner.segment_window(),
+            halves: [
+                half(0, lo_len, 0, sched_l, l_red, l_bc, k_l, seg_l),
+                half(
+                    lo_len,
+                    hi_len,
+                    comm.size - 1,
+                    sched_h,
+                    h_red,
+                    h_bc,
+                    k_h,
+                    seg_h,
+                ),
+            ],
+        });
+        self.step_dual_splits();
+        shell
+    }
+
+    /// Advance the bypassed dual-root allreduces: per half, admit reduce
+    /// segments while the window has room, chain completed reduces into
+    /// broadcasts, and complete the shell once both halves hold every
+    /// segment's broadcast payload. Called from every progress path.
+    fn step_dual_splits(&mut self) {
+        if self.dual_splits.is_empty() {
+            return;
+        }
+        let mut list = std::mem::take(&mut self.dual_splits);
+        let mut i = 0;
+        while i < list.len() {
+            let mut failed = None;
+            'steps: loop {
+                let mut advanced = false;
+                for h in 0..2 {
+                    let label = if h == 0 {
+                        "dual-split-lo"
+                    } else {
+                        "dual-split-hi"
+                    };
+                    // Admit reduce segments while the window has room.
+                    loop {
+                        let e = &list[i];
+                        let half = &e.halves[h];
+                        if half.started - half.done >= e.window || half.started >= half.k {
+                            break;
+                        }
+                        let s = half.started;
+                        let lo = half.offset + s * half.seg_bytes;
+                        let hi = (lo + half.seg_bytes).min(half.offset + half.len);
+                        let seq = half.reduce_base_seq + s as u64;
+                        let (comm, op, dtype, root) = (e.comm, e.op, e.dtype, half.root);
+                        let sched = Arc::clone(&half.sched);
+                        self.inner.tracer().emit(TraceEvent::SegPhaseEnter {
+                            phase: label,
+                            seg: s as u32,
+                        });
+                        let sub = self.ireduce_split_with_seq_sched(
+                            &comm,
+                            root,
+                            op,
+                            dtype,
+                            &list[i].data[lo..hi],
+                            seq,
+                            sched,
+                        );
+                        let half = &mut list[i].halves[h];
+                        half.started += 1;
+                        half.segs[s] = DualSegState::Reduce(sub);
+                        advanced = true;
+                    }
+                    // Reap: reduces chain into broadcasts; broadcasts finish
+                    // the segment on every rank.
+                    for s in 0..list[i].halves[h].started {
+                        let sub = match &list[i].halves[h].segs[s] {
+                            DualSegState::Reduce(r) => *r,
+                            DualSegState::Bcast(b) => *b,
+                            _ => continue,
+                        };
+                        if !self.inner.test(sub) {
+                            continue;
+                        }
+                        let reducing = matches!(list[i].halves[h].segs[s], DualSegState::Reduce(_));
+                        let out = self.inner.take_outcome(sub);
+                        if let Some(Outcome::Failed(err)) = out {
+                            failed = Some(err);
+                            break 'steps;
+                        }
+                        if reducing {
+                            // The half's root holds the segment result;
+                            // everyone chains into the broadcast.
+                            let payload = match out {
+                                Some(Outcome::Data(d)) => Some(d),
+                                _ => None,
+                            };
+                            let e = &list[i];
+                            let half = &e.halves[h];
+                            debug_assert_eq!(payload.is_some(), self.inner.rank() == half.root);
+                            let seg_len = payload.as_ref().map_or_else(
+                                || half.seg_bytes.min(half.len - s * half.seg_bytes),
+                                |d| d.len(),
+                            );
+                            let seq = half.bcast_base_seq + s as u64;
+                            let (comm, root) = (e.comm, half.root);
+                            let sched = Arc::clone(&half.sched);
+                            let sub2 = self.ibcast_split_with_seq_sched(
+                                &comm, root, payload, seg_len, seq, sched,
+                            );
+                            list[i].halves[h].segs[s] = DualSegState::Bcast(sub2);
+                        } else {
+                            let d = match out {
+                                Some(Outcome::Data(d)) => d,
+                                _ => unreachable!("broadcast completes with the payload"),
+                            };
+                            self.inner.tracer().emit(TraceEvent::SegPhaseExit {
+                                phase: label,
+                                seg: s as u32,
+                            });
+                            let half = &mut list[i].halves[h];
+                            half.results[s] = Some(d);
+                            half.segs[s] = DualSegState::Done;
+                            half.done += 1;
+                        }
+                        advanced = true;
+                    }
+                }
+                if !advanced {
+                    break;
+                }
+            }
+            if let Some(err) = failed {
+                let shell = list.remove(i).shell;
+                self.inner.complete_shell(shell, Outcome::Failed(err));
+                continue;
+            }
+            if list[i].halves.iter().all(|half| half.done == half.k) {
+                let e = list.remove(i);
+                let mut out = Vec::with_capacity(e.data.len());
+                for half in &e.halves {
+                    for r in &half.results {
+                        out.extend_from_slice(r.as_ref().expect("every segment broadcast"));
+                    }
+                }
+                debug_assert_eq!(out.len(), e.data.len());
+                self.inner
+                    .complete_shell(e.shell, Outcome::Data(Bytes::from(out)));
+                continue;
+            }
+            i += 1;
+        }
+        let mut reentrant = std::mem::replace(&mut self.dual_splits, list);
+        self.dual_splits.append(&mut reentrant);
+    }
+
     /// Shared body of the bypassed reduce paths. `parent == None` is the
     /// split-phase root, which keeps the result.
     #[allow(clippy::too_many_arguments)]
@@ -449,6 +955,7 @@ impl AbEngine {
         seq: u64,
         parent: Option<Rank>,
         split: bool,
+        sched: Arc<TopoSchedule>,
     ) -> ReqId {
         let rank = self.inner.rank();
         let ctx = comm.coll_context;
@@ -459,7 +966,6 @@ impl AbEngine {
         // progress explicitly inside the call.
         self.set_signals(false);
         let req = self.inner.alloc_shell_req();
-        let sched = self.inner.schedule(root, comm.size);
         let kids = sched.children_of(rank);
         let desc_cost = self.inner.cost().descriptor();
         self.inner.charge(CpuCategory::Protocol, desc_cost);
@@ -906,6 +1412,8 @@ impl MessageEngine for AbEngine {
         let a = self.drain_rx(false);
         let b = self.inner.progress();
         self.step_split_allreduces();
+        self.step_seg_splits();
+        self.step_dual_splits();
         a || b
     }
 
@@ -922,6 +1430,8 @@ impl MessageEngine for AbEngine {
         let a = self.drain_rx(true);
         let b = self.inner.crank();
         self.step_split_allreduces();
+        self.step_seg_splits();
+        self.step_dual_splits();
         // Everything charged during the handler counts as signal time.
         let work = self.inner.take_charges();
         let mut recat = Charges::ZERO;
@@ -956,7 +1466,10 @@ impl MessageEngine for AbEngine {
         self.inner.irecv(comm, src, tag, cap)
     }
 
-    /// The paper's application-bypass `MPI_Reduce` (Fig. 3).
+    /// The paper's application-bypass `MPI_Reduce` (Fig. 3). With an
+    /// [`EngineConfig::segments`] window of 2+, large payloads run as a
+    /// segmented pipeline of eager-sized bypassed reduces instead of
+    /// falling back to the stock rendezvous path.
     fn ireduce(
         &mut self,
         comm: &Communicator,
@@ -966,6 +1479,14 @@ impl MessageEngine for AbEngine {
         data: &[u8],
     ) -> ReqId {
         comm.check_rank(root).expect("invalid root");
+        // Plan first (see `ireduce_split`): all ranks must agree on the
+        // segment count before any rank-local mode decision.
+        let (k, seg_bytes) = self
+            .inner
+            .segment_plan(root, comm.size, data.len(), dtype.size());
+        if k >= 2 {
+            return self.ireduce_segmented(comm, root, op, dtype, data, k, seg_bytes, false);
+        }
         let seq = self.inner.alloc_coll_seq(comm.coll_context);
         let rank = self.inner.rank();
         // §V-B mode decision.
@@ -994,9 +1515,10 @@ impl MessageEngine for AbEngine {
                 .ireduce_with_seq(comm, root, op, dtype, data, seq);
         }
         self.stats.ab_reductions += 1;
-        let parent = self.inner.schedule(root, comm.size).parent_of(rank);
+        let sched = self.inner.schedule(root, comm.size);
+        let parent = sched.parent_of(rank);
         debug_assert!(parent.is_some(), "internal node always has a parent");
-        self.ab_reduce_start(comm, root, op, dtype, data, seq, parent, false)
+        self.ab_reduce_start(comm, root, op, dtype, data, seq, parent, false, sched)
     }
 
     fn ibcast(
@@ -1027,6 +1549,33 @@ impl MessageEngine for AbEngine {
         let req = self.inner.iallreduce(comm, op, dtype, data);
         self.inner.set_reduce_packet_kind(saved);
         req
+    }
+
+    fn iallreduce_dual(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> ReqId {
+        // The blocking dual-root allreduce runs the stock two-chain
+        // pipeline; like `iallreduce`, its reduce halves must not emit the
+        // collective packet type (no descriptors exist for them).
+        let saved = self.inner.reduce_packet_kind();
+        self.inner.set_reduce_packet_kind(PacketKind::Eager);
+        let req = self.inner.iallreduce_dual(comm, op, dtype, data);
+        self.inner.set_reduce_packet_kind(saved);
+        req
+    }
+
+    fn iallreduce_dual_split(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> ReqId {
+        AbEngine::iallreduce_dual_split(self, comm, op, dtype, data)
     }
 
     fn ireduce_split(

@@ -54,6 +54,12 @@ pub struct AbStats {
     pub async_bcasts: u64,
     /// Split-phase allreduces posted (§II extension).
     pub allreduce_splits: u64,
+    /// Segmented (pipelined) bypassed reductions posted: large payloads
+    /// run as a window of eager-sized per-segment reduces instead of
+    /// falling back to the stock rendezvous path.
+    pub seg_reductions: u64,
+    /// Bypassed dual-root doubly-pipelined allreduces posted (Träff).
+    pub dual_allreduce_splits: u64,
     /// Retransmitted duplicates suppressed by the bypass layer (repeat
     /// `rel_seq` at delivery, or a non-pending sender at descriptor match).
     pub duplicates_suppressed: u64,

@@ -180,6 +180,35 @@ impl CostModel {
     pub fn nic_reduce_op(&self, elems: usize) -> SimDuration {
         SimDuration::from_us_f64(self.nic_op_per_elem_us * elems as f64)
     }
+
+    /// Optimal segment size (bytes) for pipelining a `total_bytes` message
+    /// down a `depth`-deep reduction tree, per Lowery & Langou's greedy
+    /// pipelining bound (PAPERS.md): for a `p`-stage pipeline with
+    /// per-segment startup `alpha` and per-byte cost `beta`, total time
+    /// `(m/s + p - 1)(alpha + s*beta)` is minimized at
+    /// `s* = sqrt(alpha * m / ((p - 1) * beta))`.
+    ///
+    /// `alpha` is this model's per-packet host+NIC+switch startup and
+    /// `beta` its per-byte wire + 2x PCI + copy cost. The result is
+    /// clamped to `[elem_bytes, eager_limit]` (a segment must hold at
+    /// least one element, and must stay on the eager path the bypass
+    /// descriptors require) and rounded down to an element multiple, so
+    /// every rank computes the identical size from shared configuration.
+    pub fn optimal_segment_bytes(
+        &self,
+        total_bytes: usize,
+        depth: u32,
+        elem_bytes: usize,
+        eager_limit: usize,
+    ) -> usize {
+        let alpha = self.eager_send_host_us + self.nic_per_packet_us + self.switch_us;
+        let beta = self.wire_per_byte_us + 2.0 * self.pci_per_byte_us + self.copy_per_byte_us;
+        let p = f64::from(depth.max(2));
+        let s = (alpha * total_bytes as f64 / ((p - 1.0) * beta)).sqrt();
+        let elem = elem_bytes.max(1);
+        let clamped = (s as usize).clamp(elem, eager_limit.max(elem));
+        (clamped / elem).max(1) * elem
+    }
 }
 
 #[cfg(test)]
@@ -235,6 +264,25 @@ mod tests {
         let c = CostModel::default();
         assert_eq!(c.descriptor_probe(0), c.descriptor_probe(1));
         assert!(c.descriptor_probe(10) > c.descriptor_probe(1));
+    }
+
+    #[test]
+    fn optimal_segment_size_tracks_the_pipelining_bound() {
+        let c = CostModel::default();
+        let eager = 16 * 1024;
+        // 64 KiB message, depth-4 tree, f64 elements: alpha = 3.3,
+        // beta = 0.0098, s* = sqrt(3.3 * 65536 / (3 * 0.0098)) ~= 2712 ->
+        // rounded down to an 8-byte multiple.
+        let s = c.optimal_segment_bytes(65_536, 4, 8, eager);
+        assert_eq!(s, 2712);
+        // Bigger messages and shallower trees both want bigger segments.
+        assert!(c.optimal_segment_bytes(1 << 22, 4, 8, eager) > s);
+        assert!(c.optimal_segment_bytes(65_536, 2, 8, eager) > s);
+        // Never below one element, never above the eager limit, always an
+        // element multiple.
+        assert_eq!(c.optimal_segment_bytes(16, 64, 8, eager), 8);
+        assert_eq!(c.optimal_segment_bytes(1 << 30, 2, 8, eager), eager);
+        assert_eq!(c.optimal_segment_bytes(1 << 20, 3, 24, eager) % 24, 0);
     }
 
     #[test]

@@ -217,6 +217,104 @@ pub struct RsAllreduceState {
     pub recv_req: Option<ReqId>,
 }
 
+/// State of a segmented (pipelined) tree reduction: `k` independent
+/// [`ReduceState`] instances over contiguous slices of the payload, all
+/// stepping the *same* shared schedule, with at most `window` segments
+/// active on the wire at once (the `ABR_SEGMENTS` knob). Each segment has
+/// its own collective sequence number (`base_seq + index`), so packets from
+/// different segments match independently and interleave freely.
+#[derive(Debug)]
+pub struct SegReduceState {
+    /// Root rank (for assembling the final buffer there).
+    pub root: Rank,
+    /// This rank.
+    pub rank: Rank,
+    /// Per-segment reduce machines: `Some` until the segment completes.
+    /// Index `i` covers bytes `[i * seg_bytes, min((i+1) * seg_bytes, len))`
+    /// and uses sequence number `base_seq + i`.
+    pub segs: Vec<Option<ReduceState>>,
+    /// Segments admitted to the pipeline so far (`segs[..started]` are
+    /// active or done; the rest have not posted any traffic yet).
+    pub started: usize,
+    /// Segments fully completed.
+    pub done: usize,
+    /// Maximum segments in flight at once (`started - done <= window`).
+    pub window: usize,
+    /// Root only: per-segment results, concatenated in order on completion.
+    pub results: Vec<Option<bytes::Bytes>>,
+}
+
+/// One segment of a dual-root allreduce half: a reduce toward the half's
+/// root, then a broadcast of that segment's result back down the same tree.
+#[derive(Debug)]
+pub enum DualSeg {
+    /// Reduction phase in progress.
+    Reduce(ReduceState),
+    /// Broadcast phase in progress.
+    Bcast(BcastState),
+    /// Segment complete (result recorded in the half's `results`).
+    Done,
+}
+
+/// One half of a dual-root allreduce: an independent segmented
+/// reduce-then-broadcast pipeline over its own chain schedule and its own
+/// slice `[offset, offset + len)` of the payload.
+#[derive(Debug)]
+pub struct DualHalf {
+    /// Byte offset of this half within the full payload.
+    pub offset: usize,
+    /// Byte length of this half.
+    pub len: usize,
+    /// This half's root rank.
+    pub root: Rank,
+    /// Chain (or chain-reverse) schedule both phases step.
+    pub sched: Arc<TopoSchedule>,
+    /// First reduce sequence number; segment `i` reduces on `+ i`.
+    pub reduce_base_seq: u64,
+    /// First broadcast sequence number; segment `i` broadcasts on `+ i`.
+    pub bcast_base_seq: u64,
+    /// Segment size in bytes (last segment may be shorter).
+    pub seg_bytes: usize,
+    /// Per-segment pipelines.
+    pub segs: Vec<DualSeg>,
+    /// Segments admitted to this half's pipeline so far.
+    pub started: usize,
+    /// Segments fully completed (broadcast received everywhere).
+    pub done: usize,
+    /// Maximum segments of this half in flight at once.
+    pub window: usize,
+    /// Per-segment broadcast results, assembled in order on completion.
+    pub results: Vec<Option<bytes::Bytes>>,
+}
+
+/// State of Träff's dual-root doubly-pipelined allreduce (PAPERS.md): the
+/// payload is split into two element-aligned halves that run *concurrent*
+/// segmented reduce+broadcast pipelines over opposite-direction chains —
+/// half L toward rank 0 over [`crate::topology::TopologyKind::Chain`], half
+/// H toward rank `size - 1` over
+/// [`crate::topology::TopologyKind::ChainRev`] — so every physical link
+/// carries both halves in opposite directions and no link is idle while
+/// the pipeline drains.
+#[derive(Debug)]
+pub struct DualAllreduceState {
+    /// Collective context id.
+    pub context: u32,
+    /// Communicator size.
+    pub size: u32,
+    /// This rank.
+    pub rank: Rank,
+    /// Operator.
+    pub op: ReduceOp,
+    /// Element type.
+    pub dtype: Datatype,
+    /// Full payload length in bytes.
+    pub len: usize,
+    /// The two concurrent half-pipelines (L toward 0, H toward size-1).
+    pub halves: [DualHalf; 2],
+    /// Packet kind for reduction traffic (mirrors [`ReduceState`]).
+    pub packet_kind: PacketKind,
+}
+
 /// Which phase a composite allgather is in.
 #[derive(Debug)]
 pub enum AllgatherPhase {
@@ -254,6 +352,10 @@ pub enum CollState {
     Allgather(AllgatherState),
     /// Rabenseifner allreduce (large messages, power-of-two sizes).
     RsAllreduce(RsAllreduceState),
+    /// Segmented (pipelined) tree reduce.
+    SegReduce(SegReduceState),
+    /// Dual-root doubly-pipelined allreduce.
+    DualAllreduce(DualAllreduceState),
 }
 
 impl CollState {
@@ -268,6 +370,8 @@ impl CollState {
             CollState::Scatter(_) => "scatter",
             CollState::Allgather(_) => "allgather",
             CollState::RsAllreduce(_) => "rs-allreduce",
+            CollState::SegReduce(_) => "seg-reduce",
+            CollState::DualAllreduce(_) => "dual-allreduce",
         }
     }
 }

@@ -17,7 +17,8 @@
 use crate::charge::Charges;
 use crate::coll::{
     barrier_rounds, AllgatherPhase, AllgatherState, AllreducePhase, AllreduceState, BarrierState,
-    BcastState, CollState, GatherState, ReduceState, RsAllreduceState, RsPhase, ScatterState,
+    BcastState, CollState, DualAllreduceState, DualHalf, DualSeg, GatherState, ReduceState,
+    RsAllreduceState, RsPhase, ScatterState, SegReduceState,
 };
 use crate::comm::Communicator;
 pub use crate::matchq::UnexpectedMsg;
@@ -25,7 +26,7 @@ pub use crate::matchq::UnexpectedMsg;
 use crate::matchq::{MsgKey, PostedQueue, PostedRecv, UnexpectedQueue};
 use crate::op::ReduceOp;
 use crate::request::{Outcome, RecvState, ReqId, Request, RequestBody, RndvSend};
-use crate::topology::{ScheduleCache, TopoSchedule, TopologyKind};
+use crate::topology::{shared_schedule, ScheduleCache, TopoSchedule, TopologyKind};
 use crate::types::{coll_code, coll_tag, Datatype, MprError, Rank, TagSel};
 use abr_des::meter::CpuCategory;
 use abr_gm::cost::CostModel;
@@ -34,6 +35,7 @@ use abr_gm::packet::{NodeId, Packet, PacketHeader, PacketKind};
 use abr_trace::{TraceEvent, TraceHandle};
 use bytes::Bytes;
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 /// Outputs the driver must act on, in order.
 #[derive(Debug, Clone)]
@@ -68,6 +70,14 @@ pub struct EngineConfig {
     /// pre-registry per-engine builds — `O(size)` memory and build time
     /// *per rank* — and exists for the scale benchmark's baseline.
     pub shared_schedules: bool,
+    /// Pipeline window for segmented reductions (the `ABR_SEGMENTS` knob):
+    /// the maximum number of message segments in flight per collective.
+    /// `1` (the default) disables segmentation entirely — every reduce
+    /// takes the legacy single-segment path, byte-identical to the
+    /// pre-segmentation engine. Values `>= 2` split payloads larger than
+    /// the Lowery–Langou optimal segment size
+    /// ([`CostModel::optimal_segment_bytes`]) into pipelined segments.
+    pub segments: usize,
 }
 
 impl Default for EngineConfig {
@@ -79,6 +89,7 @@ impl Default for EngineConfig {
             allreduce_rs_threshold: 2048,
             topology: TopologyKind::Binomial,
             shared_schedules: true,
+            segments: 1,
         }
     }
 }
@@ -262,6 +273,11 @@ impl Engine {
     /// The eager/rendezvous threshold in payload bytes.
     pub fn eager_limit(&self) -> usize {
         self.config.eager_limit
+    }
+
+    /// Configured segmentation pipeline window, clamped to at least 1.
+    pub fn segment_window(&self) -> usize {
+        self.config.segments.max(1)
     }
 
     /// Engine counters.
@@ -597,9 +613,67 @@ impl Engine {
     // Collectives
     // ------------------------------------------------------------------
 
+    /// Allocate `count` consecutive collective sequence numbers for a
+    /// context, returning the first. Segmented collectives reserve one
+    /// sequence per segment so every segment matches independently; all
+    /// ranks compute the same segment count from shared configuration, so
+    /// the block allocation agrees cluster-wide.
+    pub fn alloc_seq_range(&mut self, coll_context: u32, count: usize) -> u64 {
+        let c = self.coll_seqs.entry(coll_context).or_insert(0);
+        let first = *c;
+        *c += count as u64;
+        first
+    }
+
+    /// Segment plan for a reduction of `len` bytes over the configured
+    /// topology rooted at `root`: `(segment_count, segment_bytes)`.
+    ///
+    /// Returns `(1, len)` — no segmentation — unless the engine's pipeline
+    /// window ([`EngineConfig::segments`]) is at least 2 *and* the payload
+    /// splits into at least two segments at the Lowery–Langou optimal
+    /// size. The application-bypass layer calls this before allocating
+    /// sequence numbers so both layers agree on the count.
+    pub fn segment_plan(
+        &mut self,
+        root: Rank,
+        size: u32,
+        len: usize,
+        elem_bytes: usize,
+    ) -> (usize, usize) {
+        if self.config.segments <= 1 {
+            return (1, len);
+        }
+        let depth = self.schedule(root, size).max_depth();
+        self.plan_segments(len, elem_bytes, depth)
+    }
+
+    /// [`Engine::segment_plan`] for an explicit pipeline depth (the
+    /// dual-root halves plan against their chain schedules, not the
+    /// configured topology).
+    pub fn plan_segments(&self, len: usize, elem_bytes: usize, depth: u32) -> (usize, usize) {
+        if self.config.segments <= 1 || len <= elem_bytes.max(1) || depth == 0 {
+            return (1, len);
+        }
+        let seg =
+            self.config
+                .cost
+                .optimal_segment_bytes(len, depth, elem_bytes, self.config.eager_limit);
+        let k = len.div_ceil(seg);
+        if k < 2 {
+            (1, len)
+        } else {
+            (k, seg)
+        }
+    }
+
     /// Post the default blocking binomial reduction (the `nab` baseline).
     /// `data` is this rank's contribution; the root's result is the
     /// request's [`Outcome::Data`].
+    ///
+    /// When segmentation is enabled and the payload is large enough
+    /// ([`Engine::segment_plan`]), this becomes a segmented pipelined
+    /// reduction instead; with the default single-segment window the
+    /// legacy path runs unchanged.
     pub fn ireduce(
         &mut self,
         comm: &Communicator,
@@ -609,8 +683,13 @@ impl Engine {
         data: &[u8],
     ) -> ReqId {
         comm.check_rank(root).expect("invalid root");
-        let coll_seq = self.alloc_coll_seq(comm.coll_context);
-        self.ireduce_with_seq(comm, root, op, dtype, data, coll_seq)
+        let (k, seg_bytes) = self.segment_plan(root, comm.size, data.len(), dtype.size());
+        if k <= 1 {
+            let coll_seq = self.alloc_coll_seq(comm.coll_context);
+            return self.ireduce_with_seq(comm, root, op, dtype, data, coll_seq);
+        }
+        let base_seq = self.alloc_seq_range(comm.coll_context, k);
+        self.ireduce_segmented_with_seqs(comm, root, op, dtype, data, base_seq, k, seg_bytes)
     }
 
     /// As [`Engine::ireduce`] with an externally allocated sequence number
@@ -624,6 +703,24 @@ impl Engine {
         data: &[u8],
         coll_seq: u64,
     ) -> ReqId {
+        let sched = self.schedule(root, comm.size);
+        self.ireduce_with_seq_sched(comm, root, op, dtype, data, coll_seq, sched)
+    }
+
+    /// As [`Engine::ireduce_with_seq`] against an explicit schedule (the
+    /// dual-root allreduce steps chain schedules regardless of the
+    /// configured topology).
+    #[allow(clippy::too_many_arguments)] // mirrors ireduce_with_seq + sched
+    pub fn ireduce_with_seq_sched(
+        &mut self,
+        comm: &Communicator,
+        root: Rank,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+        coll_seq: u64,
+        sched: Arc<TopoSchedule>,
+    ) -> ReqId {
         let state = ReduceState {
             context: comm.coll_context,
             root,
@@ -633,13 +730,180 @@ impl Engine {
             dtype,
             coll_seq,
             acc: data.to_vec(),
-            sched: self.schedule(root, comm.size),
+            sched,
             next_child: 0,
             child_recv: None,
             send_req: None,
             packet_kind: self.reduce_packet_kind,
         };
         self.post_coll(CollState::Reduce(state))
+    }
+
+    /// Post a segmented pipelined reduction: `k` segments of `seg_bytes`
+    /// (the last may be shorter) on sequence numbers `base_seq..base_seq+k`,
+    /// with at most [`EngineConfig::segments`] in flight at once. Public so
+    /// the application-bypass fallback paths can reuse the pre-allocated
+    /// sequence block.
+    #[allow(clippy::too_many_arguments)] // mirrors ireduce + the segment plan
+    pub fn ireduce_segmented_with_seqs(
+        &mut self,
+        comm: &Communicator,
+        root: Rank,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+        base_seq: u64,
+        k: usize,
+        seg_bytes: usize,
+    ) -> ReqId {
+        debug_assert!(k >= 2 && seg_bytes >= 1);
+        let sched = self.schedule(root, comm.size);
+        let mut segs = Vec::with_capacity(k);
+        for i in 0..k {
+            let lo = i * seg_bytes;
+            let hi = (lo + seg_bytes).min(data.len());
+            segs.push(Some(ReduceState {
+                context: comm.coll_context,
+                root,
+                size: comm.size,
+                rank: self.rank,
+                op,
+                dtype,
+                coll_seq: base_seq + i as u64,
+                acc: data[lo..hi].to_vec(),
+                sched: Arc::clone(&sched),
+                next_child: 0,
+                child_recv: None,
+                send_req: None,
+                packet_kind: self.reduce_packet_kind,
+            }));
+        }
+        let state = SegReduceState {
+            root,
+            rank: self.rank,
+            segs,
+            started: 0,
+            done: 0,
+            window: self.config.segments.max(1),
+            results: vec![None; k],
+        };
+        self.post_coll(CollState::SegReduce(state))
+    }
+
+    /// Post Träff's dual-root doubly-pipelined allreduce (PAPERS.md): the
+    /// payload splits into two element-aligned halves reduced and
+    /// broadcast over opposite-direction chains (half L toward rank 0,
+    /// half H toward rank `size - 1`), each half segmented per
+    /// [`Engine::segment_plan`] so segments of both halves interleave on
+    /// every link. Falls back to the ordinary allreduce when the
+    /// communicator or payload is too small to split.
+    pub fn iallreduce_dual(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> ReqId {
+        let elem = dtype.size();
+        let lo_len = data.len() / elem / 2 * elem;
+        let hi_len = data.len() - lo_len;
+        if comm.size < 2 || lo_len == 0 || hi_len == 0 {
+            return self.iallreduce(comm, op, dtype, data);
+        }
+        let sched_l = shared_schedule(TopologyKind::Chain, 0, comm.size);
+        let sched_h = shared_schedule(TopologyKind::ChainRev, comm.size - 1, comm.size);
+        let (k_l, seg_l) = self.plan_segments(lo_len, elem, sched_l.max_depth());
+        let (k_h, seg_h) = self.plan_segments(hi_len, elem, sched_h.max_depth());
+        // Fixed allocation order [L reduce][L bcast][H reduce][H bcast]:
+        // identical on every rank, so per-segment tags agree cluster-wide.
+        let l_red = self.alloc_seq_range(comm.coll_context, k_l);
+        let l_bc = self.alloc_seq_range(comm.coll_context, k_l);
+        let h_red = self.alloc_seq_range(comm.coll_context, k_h);
+        let h_bc = self.alloc_seq_range(comm.coll_context, k_h);
+        let halves = [
+            self.make_dual_half(
+                comm, op, dtype, data, 0, lo_len, 0, sched_l, l_red, l_bc, seg_l,
+            ),
+            self.make_dual_half(
+                comm,
+                op,
+                dtype,
+                data,
+                lo_len,
+                hi_len,
+                comm.size - 1,
+                sched_h,
+                h_red,
+                h_bc,
+                seg_h,
+            ),
+        ];
+        let state = DualAllreduceState {
+            context: comm.coll_context,
+            size: comm.size,
+            rank: self.rank,
+            op,
+            dtype,
+            len: data.len(),
+            halves,
+            packet_kind: self.reduce_packet_kind,
+        };
+        self.post_coll(CollState::DualAllreduce(state))
+    }
+
+    /// Build one half of a dual-root allreduce: per-segment reduce states
+    /// over `data[offset..offset + len]` stepping `sched`, none admitted to
+    /// the pipeline yet.
+    #[allow(clippy::too_many_arguments)] // one call site; plain plumbing
+    fn make_dual_half(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+        offset: usize,
+        len: usize,
+        root: Rank,
+        sched: Arc<TopoSchedule>,
+        reduce_base_seq: u64,
+        bcast_base_seq: u64,
+        seg_bytes: usize,
+    ) -> DualHalf {
+        let k = len.div_ceil(seg_bytes);
+        let mut segs = Vec::with_capacity(k);
+        for i in 0..k {
+            let lo = offset + i * seg_bytes;
+            let hi = (lo + seg_bytes).min(offset + len);
+            segs.push(DualSeg::Reduce(ReduceState {
+                context: comm.coll_context,
+                root,
+                size: comm.size,
+                rank: self.rank,
+                op,
+                dtype,
+                coll_seq: reduce_base_seq + i as u64,
+                acc: data[lo..hi].to_vec(),
+                sched: Arc::clone(&sched),
+                next_child: 0,
+                child_recv: None,
+                send_req: None,
+                packet_kind: self.reduce_packet_kind,
+            }));
+        }
+        DualHalf {
+            offset,
+            len,
+            root,
+            sched,
+            reduce_base_seq,
+            bcast_base_seq,
+            seg_bytes,
+            segs,
+            started: 0,
+            done: 0,
+            window: self.config.segments.max(1),
+            results: vec![None; k],
+        }
     }
 
     /// Post a binomial broadcast. The root passes `Some(data)`; other ranks
@@ -672,6 +936,41 @@ impl Engine {
             "exactly the root supplies bcast data"
         );
         let state = self.make_bcast_state(comm, root, data, len, coll_seq);
+        self.post_coll(CollState::Bcast(state))
+    }
+
+    /// As [`Engine::ibcast_with_seq`] against an explicit schedule (the
+    /// application-bypass dual-root path broadcasts over chain schedules
+    /// regardless of the configured topology).
+    #[allow(clippy::too_many_arguments)] // mirrors ibcast_with_seq + sched
+    pub fn ibcast_with_seq_sched(
+        &mut self,
+        comm: &Communicator,
+        root: Rank,
+        data: Option<Bytes>,
+        len: usize,
+        coll_seq: u64,
+        sched: Arc<TopoSchedule>,
+    ) -> ReqId {
+        comm.check_rank(root).expect("invalid root");
+        debug_assert_eq!(
+            self.rank == root,
+            data.is_some(),
+            "exactly the root supplies bcast data"
+        );
+        let state = BcastState {
+            context: comm.coll_context,
+            root,
+            size: comm.size,
+            rank: self.rank,
+            coll_seq,
+            len,
+            data,
+            recv_req: None,
+            sched,
+            next_send: 0,
+            send_reqs: Vec::new(),
+        };
         self.post_coll(CollState::Bcast(state))
     }
 
@@ -1082,7 +1381,7 @@ impl Engine {
             phase: state.name(),
         });
         self.requests
-            .insert(id.raw(), Request::new(RequestBody::Coll(state)));
+            .insert(id.raw(), Request::new(RequestBody::Coll(Box::new(state))));
         self.active_colls.push(id);
         // Step immediately: leaves can often send right away, and a
         // single-rank collective completes synchronously.
@@ -1412,7 +1711,7 @@ impl Engine {
         let mut progressed = false;
         if req.outcome.is_none() {
             if let RequestBody::Coll(state) = &mut req.body {
-                let res = match state {
+                let res = match &mut **state {
                     CollState::Reduce(s) => self.step_reduce(s),
                     CollState::Bcast(s) => self.step_bcast(s),
                     CollState::Barrier(s) => self.step_barrier(s),
@@ -1421,6 +1720,8 @@ impl Engine {
                     CollState::Scatter(s) => self.step_scatter(s),
                     CollState::Allgather(s) => self.step_allgather(s),
                     CollState::RsAllreduce(s) => self.step_rs_allreduce(s),
+                    CollState::SegReduce(s) => self.step_seg_reduce(s),
+                    CollState::DualAllreduce(s) => self.step_dual_allreduce(s),
                 };
                 progressed = res.progressed;
                 if let Some(outcome) = res.outcome {
@@ -1733,6 +2034,150 @@ impl Engine {
         }
     }
 
+    fn step_seg_reduce(&mut self, s: &mut SegReduceState) -> StepRes {
+        let k = s.segs.len();
+        let mut progressed = false;
+        loop {
+            // Admit segments while the window has room: active (started and
+            // not yet done) segments may not exceed the window.
+            while s.started - s.done < s.window && s.started < k {
+                self.trace.emit(TraceEvent::SegPhaseEnter {
+                    phase: "seg-reduce",
+                    seg: s.started as u32,
+                });
+                s.started += 1;
+                progressed = true;
+            }
+            let mut advanced = false;
+            for i in 0..s.started {
+                let Some(seg) = &mut s.segs[i] else { continue };
+                let res = self.step_reduce(seg);
+                progressed |= res.progressed;
+                match res.outcome {
+                    Some(Outcome::Data(d)) => {
+                        s.results[i] = Some(d);
+                    }
+                    Some(Outcome::Done) => {}
+                    Some(Outcome::Failed(e)) => return StepRes::done(Outcome::Failed(e)),
+                    None => continue,
+                }
+                s.segs[i] = None;
+                s.done += 1;
+                self.trace.emit(TraceEvent::SegPhaseExit {
+                    phase: "seg-reduce",
+                    seg: i as u32,
+                });
+                advanced = true;
+            }
+            if s.done == k {
+                if s.rank == s.root {
+                    let total = s.results.iter().map(|r| r.as_ref().unwrap().len()).sum();
+                    let mut out = Vec::with_capacity(total);
+                    for r in s.results.iter_mut() {
+                        out.extend_from_slice(&r.take().expect("root segment has data"));
+                    }
+                    return StepRes::done(Outcome::Data(Bytes::from(out)));
+                }
+                return StepRes::done(Outcome::Done);
+            }
+            // A completion may have opened window room; loop until quiescent.
+            if !advanced {
+                return StepRes::pending(progressed);
+            }
+        }
+    }
+
+    fn step_dual_allreduce(&mut self, s: &mut DualAllreduceState) -> StepRes {
+        let mut progressed = false;
+        loop {
+            let mut advanced = false;
+            for half in s.halves.iter_mut() {
+                let k = half.segs.len();
+                while half.started - half.done < half.window && half.started < k {
+                    self.trace.emit(TraceEvent::SegPhaseEnter {
+                        phase: "dual-allreduce",
+                        seg: half.started as u32,
+                    });
+                    half.started += 1;
+                    progressed = true;
+                }
+                for i in 0..half.started {
+                    // Step whichever phase segment i is in; the borrow of
+                    // the segment ends before the slot is overwritten.
+                    let step = match &mut half.segs[i] {
+                        DualSeg::Reduce(r) => Some((true, self.step_reduce(r))),
+                        DualSeg::Bcast(b) => Some((false, self.step_bcast(b))),
+                        DualSeg::Done => None,
+                    };
+                    let Some((reducing, res)) = step else {
+                        continue;
+                    };
+                    progressed |= res.progressed;
+                    match (reducing, res.outcome) {
+                        (_, Some(Outcome::Failed(e))) => return StepRes::done(Outcome::Failed(e)),
+                        (_, None) => {}
+                        // Reduce finished: chain into the segment's
+                        // broadcast down the same schedule. The half root
+                        // completes with the data and seeds the broadcast;
+                        // everyone else awaits it from their parent.
+                        (true, Some(outcome)) => {
+                            let data = match outcome {
+                                Outcome::Data(d) => Some(d),
+                                _ => None,
+                            };
+                            let seg_len = match &data {
+                                Some(d) => d.len(),
+                                None => half.seg_bytes.min(half.len - i * half.seg_bytes),
+                            };
+                            half.segs[i] = DualSeg::Bcast(BcastState {
+                                context: s.context,
+                                root: half.root,
+                                size: s.size,
+                                rank: s.rank,
+                                coll_seq: half.bcast_base_seq + i as u64,
+                                len: seg_len,
+                                data,
+                                recv_req: None,
+                                sched: Arc::clone(&half.sched),
+                                next_send: 0,
+                                send_reqs: Vec::new(),
+                            });
+                            advanced = true;
+                        }
+                        (false, Some(Outcome::Data(d))) => {
+                            half.results[i] = Some(d);
+                            half.segs[i] = DualSeg::Done;
+                            half.done += 1;
+                            self.trace.emit(TraceEvent::SegPhaseExit {
+                                phase: "dual-allreduce",
+                                seg: i as u32,
+                            });
+                            advanced = true;
+                        }
+                        (false, Some(Outcome::Done)) => {
+                            unreachable!("bcast completes with data")
+                        }
+                    }
+                }
+            }
+            if s.halves.iter().all(|h| h.done == h.segs.len()) {
+                // Assemble both halves in payload order; every rank gets
+                // the full reduced buffer (allreduce semantics).
+                let mut out = Vec::with_capacity(s.len);
+                for half in s.halves.iter_mut() {
+                    for r in half.results.iter_mut() {
+                        out.extend_from_slice(&r.take().expect("segment broadcast everywhere"));
+                    }
+                }
+                debug_assert_eq!(out.len(), s.len);
+                return StepRes::done(Outcome::Data(Bytes::from(out)));
+            }
+            if !advanced {
+                return StepRes::pending(progressed);
+            }
+        }
+    }
+
     fn step_allreduce(&mut self, s: &mut AllreduceState) -> StepRes {
         loop {
             match &mut s.phase {
@@ -1837,6 +2282,19 @@ pub trait MessageEngine {
         dtype: Datatype,
         data: &[u8],
     ) -> ReqId;
+    /// Dual-root doubly-pipelined allreduce (Träff, PAPERS.md). The
+    /// default is the ordinary allreduce so minimal engines stay correct;
+    /// [`Engine`] and the application-bypass wrapper run the real
+    /// two-chain pipeline.
+    fn iallreduce_dual(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> ReqId {
+        self.iallreduce(comm, op, dtype, data)
+    }
     /// Split-phase reduction (the paper's §II/§VII extension). The default
     /// is the ordinary reduction, so baselines remain comparable: callers
     /// that `WaitSplit` immediately observe blocking semantics either way.
@@ -1849,6 +2307,18 @@ pub trait MessageEngine {
         data: &[u8],
     ) -> ReqId {
         self.ireduce(comm, root, op, dtype, data)
+    }
+    /// Split-phase dual-root allreduce. The default is the blocking-style
+    /// dual-root algorithm (itself defaulting to the plain allreduce), so
+    /// baseline engines remain comparable under `WaitSplit`.
+    fn iallreduce_dual_split(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> ReqId {
+        self.iallreduce_dual(comm, op, dtype, data)
     }
     /// True if unprocessed packets could produce asynchronous work when
     /// signals are enabled (used by drivers to synthesize the "enable
@@ -1967,6 +2437,15 @@ impl MessageEngine for Engine {
         data: &[u8],
     ) -> ReqId {
         Engine::iallreduce(self, comm, op, dtype, data)
+    }
+    fn iallreduce_dual(
+        &mut self,
+        comm: &Communicator,
+        op: ReduceOp,
+        dtype: Datatype,
+        data: &[u8],
+    ) -> ReqId {
+        Engine::iallreduce_dual(self, comm, op, dtype, data)
     }
     fn has_pending_signal_work(&self) -> bool {
         false

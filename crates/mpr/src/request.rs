@@ -47,8 +47,9 @@ pub enum RequestBody {
     SendRndv(RndvSend),
     /// A receive (posted, or already satisfied).
     Recv(RecvState),
-    /// A collective operation state machine.
-    Coll(CollState),
+    /// A collective operation state machine (boxed: the segmented and
+    /// dual-root states dwarf the point-to-point variants).
+    Coll(Box<CollState>),
 }
 
 /// Rendezvous-send bookkeeping.

@@ -43,6 +43,15 @@ pub enum TopologyKind {
     /// to `r - 1`. Maximum depth, minimum fan-in — the shape that rewards
     /// bypass most under skew because every rank is an internal node.
     Chain,
+    /// Direction-reversed chain: relative rank `r` receives from `r - 1`
+    /// and sends to `r + 1` (mod `size`), so data flows *up* the rank
+    /// order instead of down. Exists for Träff's dual-root
+    /// doubly-pipelined allreduce (PAPERS.md), whose second pipeline must
+    /// traverse the physical chain in the opposite direction so the two
+    /// halves never contend for the same link at the same step. Note
+    /// `Chain` rooted at `size - 1` is *not* this shape — the relative
+    /// rotation wraps, producing another downward chain.
+    ChainRev,
     /// Flat (star): every non-root sends directly to the root. Minimum
     /// depth, maximum fan-in; no internal nodes, so bypass has nothing to
     /// optimize (the paper's 2-node observation taken to the limit).
@@ -81,6 +90,7 @@ impl fmt::Display for TopologyKind {
             TopologyKind::Binomial => write!(f, "binomial"),
             TopologyKind::Knomial(k) => write!(f, "knomial{k}"),
             TopologyKind::Chain => write!(f, "chain"),
+            TopologyKind::ChainRev => write!(f, "chainrev"),
             TopologyKind::Flat => write!(f, "flat"),
             TopologyKind::Bine => write!(f, "bine"),
             TopologyKind::Locality {
@@ -98,7 +108,8 @@ impl fmt::Display for TopologyKind {
 
 impl TopologyKind {
     /// Parse an `ABR_TOPO` value: `binomial`, `knomial<k>` (k >= 2),
-    /// `chain`, `flat`, `bine`, or `locality[<R>x<P>][:cyclic|:blocked]`
+    /// `chain`, `chainrev`, `flat`, `bine`, or
+    /// `locality[<R>x<P>][:cyclic|:blocked]`
     /// (defaults `locality4x16:cyclic`, matching `abr_fabric`'s default
     /// fat-tree shape). Errors name the variable per the fail-fast
     /// contract of [`abr_trace::parse_env`].
@@ -123,6 +134,7 @@ impl TopologyKind {
         match raw {
             "binomial" => Ok(TopologyKind::Binomial),
             "chain" => Ok(TopologyKind::Chain),
+            "chainrev" => Ok(TopologyKind::ChainRev),
             "flat" => Ok(TopologyKind::Flat),
             "bine" => Ok(TopologyKind::Bine),
             _ => {
@@ -139,7 +151,7 @@ impl TopologyKind {
                 } else {
                     Err(format!(
                         "ABR_TOPO: unknown topology {raw:?} (expected binomial, knomial<k>, \
-                         chain, flat, bine, or locality[<R>x<P>][:cyclic|:blocked])"
+                         chain, chainrev, flat, bine, or locality[<R>x<P>][:cyclic|:blocked])"
                     ))
                 }
             }
@@ -247,6 +259,20 @@ impl TopologyKind {
             TopologyKind::Chain => {
                 if rel + 1 < size {
                     out.push(rel + 1);
+                }
+            }
+            TopologyKind::ChainRev => {
+                // Mirror of Chain in relative space: the root adopts the
+                // deepest relative rank, every other rank adopts its
+                // predecessor, and rel 1 is the single leaf. Rooted at
+                // `size - 1` this lays data flow along the physical chain
+                // 0 -> 1 -> ... -> size-1, the reverse of Chain's.
+                if rel == 0 {
+                    if size > 1 {
+                        out.push(size - 1);
+                    }
+                } else if rel >= 2 {
+                    out.push(rel - 1);
                 }
             }
             TopologyKind::Flat => {
@@ -611,6 +637,18 @@ fn registry_get(kind: TopologyKind, root: Rank, size: u32) -> Arc<TopoSchedule> 
     Arc::clone(map.entry((kind, root, size)).or_insert(built))
 }
 
+/// Fetch the process-global shared schedule for an arbitrary
+/// `(kind, root, size)` triple, building it on first use.
+///
+/// This always consults the global registry — even for engines configured
+/// with `shared_schedules = false` — because its callers (the dual-root
+/// allreduce's chain/chainrev halves) need a schedule of a *different*
+/// kind than the engine's [`ScheduleCache`] was built for, and a pure
+/// structural lookup is safe to share unconditionally.
+pub fn shared_schedule(kind: TopologyKind, root: Rank, size: u32) -> Arc<TopoSchedule> {
+    registry_get(kind, root, size)
+}
+
 /// Per-engine view of the schedule store, keyed by `(root, size)` (the kind
 /// is fixed per cache). Collective instances share the cached schedule via
 /// `Arc`, so steady-state reductions allocate nothing for tree structure.
@@ -672,11 +710,12 @@ impl ScheduleCache {
 mod tests {
     use super::*;
 
-    const ALL_KINDS: [TopologyKind; 8] = [
+    const ALL_KINDS: [TopologyKind; 9] = [
         TopologyKind::Binomial,
         TopologyKind::Knomial(2),
         TopologyKind::Knomial(4),
         TopologyKind::Chain,
+        TopologyKind::ChainRev,
         TopologyKind::Flat,
         TopologyKind::Bine,
         TopologyKind::Locality {
@@ -755,6 +794,49 @@ mod tests {
         assert_eq!(f.children_of(0), &[1, 2, 3, 4]);
         assert!((1..5).all(|r| f.is_leaf(r)));
         assert_eq!(f.max_depth(), 1);
+    }
+
+    #[test]
+    fn chainrev_is_the_physical_reverse_of_chain() {
+        // Rooted at size-1, chainrev is the physical chain 0 -> 1 -> ... ->
+        // size-1 with data flowing upward — the genuine reverse of
+        // Chain(root 0), which Chain(root size-1) is NOT (it wraps).
+        let r = TopologyKind::ChainRev.schedule(4, 5);
+        assert_eq!(r.children_of(4), &[3]);
+        assert_eq!(r.children_of(3), &[2]);
+        assert_eq!(r.children_of(1), &[0]);
+        assert_eq!(r.children_of(0), &[] as &[Rank]);
+        assert_eq!(r.parent_of(0), Some(1));
+        assert_eq!(r.max_depth(), 4);
+        assert_eq!(r.last_node(), 0);
+        // Each rank's parent edge is the same physical link Chain(root 0)
+        // uses, just traversed the other way.
+        let c = TopologyKind::Chain.schedule(0, 5);
+        for rank in 0..5u32 {
+            let down = c.parent_of(rank);
+            let up = r.parent_of(rank);
+            match (down, up) {
+                (None, Some(p)) => assert_eq!(p, rank + 1),
+                (Some(p), None) => assert_eq!(p, rank - 1),
+                (Some(_), Some(p)) => assert_eq!(p, rank + 1),
+                (None, None) => panic!("rank {rank} is root of both chains"),
+            }
+        }
+        // Degenerate sizes still span.
+        assert_eq!(TopologyKind::ChainRev.schedule(0, 1).size(), 1);
+        let two = TopologyKind::ChainRev.schedule(1, 2);
+        assert_eq!(two.children_of(1), &[0]);
+    }
+
+    #[test]
+    fn shared_schedule_matches_fresh_build() {
+        let via_registry = shared_schedule(TopologyKind::ChainRev, 3, 6);
+        assert_eq!(*via_registry, TopologyKind::ChainRev.schedule(3, 6));
+        // Same Arc on repeat lookups.
+        assert!(Arc::ptr_eq(
+            &via_registry,
+            &shared_schedule(TopologyKind::ChainRev, 3, 6)
+        ));
     }
 
     #[test]

@@ -42,6 +42,8 @@ fn push_event(out: &mut String, pid: u32, t_ns: u64, ev: &TraceEvent) {
     let (ph, name, dur, args) = match *ev {
         TraceEvent::PhaseEnter { phase } => ("B", phase, None, String::new()),
         TraceEvent::PhaseExit { phase } => ("E", phase, None, String::new()),
+        TraceEvent::SegPhaseEnter { phase, seg } => ("B", phase, None, format!("\"seg\":{seg}")),
+        TraceEvent::SegPhaseExit { phase, seg } => ("E", phase, None, format!("\"seg\":{seg}")),
         TraceEvent::CpuCharge { bucket, nanos } => {
             ("X", bucket, Some(nanos), format!("\"nanos\":{nanos}"))
         }

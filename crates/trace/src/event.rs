@@ -102,6 +102,23 @@ pub enum TraceEvent {
         /// Phase label matching the corresponding enter event.
         phase: &'static str,
     },
+    /// Entered a named protocol phase on behalf of one segment of a
+    /// segmented (pipelined) collective. Same bracket semantics as
+    /// [`TraceEvent::PhaseEnter`], with the segment index attached so
+    /// timeline views can show the pipeline's segments overlapping.
+    SegPhaseEnter {
+        /// Phase label (e.g. `"seg-reduce"`).
+        phase: &'static str,
+        /// Zero-based segment index within the collective.
+        seg: u32,
+    },
+    /// Left a named per-segment protocol phase.
+    SegPhaseExit {
+        /// Phase label matching the corresponding enter event.
+        phase: &'static str,
+        /// Zero-based segment index within the collective.
+        seg: u32,
+    },
     /// Fault-plan verdict for one wire transmission.
     FaultVerdict {
         /// Destination rank of the judged packet.
@@ -134,7 +151,9 @@ impl TraceEvent {
             TraceEvent::Signal { .. } => "signal",
             TraceEvent::EngineState { .. }
             | TraceEvent::PhaseEnter { .. }
-            | TraceEvent::PhaseExit { .. } => "state",
+            | TraceEvent::PhaseExit { .. }
+            | TraceEvent::SegPhaseEnter { .. }
+            | TraceEvent::SegPhaseExit { .. } => "state",
             TraceEvent::FaultVerdict { .. } => "fault",
             TraceEvent::MatchOutcome { .. } => "match",
         }

@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Docs link check: every intra-repo markdown link in the teaching docs
+# must point at a file that exists. External (http/https) links and pure
+# fragment links are skipped; a `#section` suffix on a file link is
+# stripped before the existence check.
+#
+#   ./scripts/check_links.sh [doc.md ...]
+#
+# With no arguments, checks the four teaching docs.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+docs=("$@")
+if [ ${#docs[@]} -eq 0 ]; then
+  docs=(README.md DESIGN.md EXPERIMENTS.md ARCHITECTURE.md)
+fi
+
+fail=0
+for doc in "${docs[@]}"; do
+  if [ ! -f "$doc" ]; then
+    echo "MISSING DOC: $doc"
+    fail=1
+    continue
+  fi
+  # Markdown inline links: [text](target). Reference-style links are not
+  # used in this repo.
+  while IFS= read -r target; do
+    case "$target" in
+    http://* | https://* | "#"*) continue ;;
+    esac
+    path="${target%%#*}"
+    [ -z "$path" ] && continue
+    if [ ! -e "$path" ]; then
+      echo "DEAD LINK in $doc: ($target)"
+      fail=1
+    fi
+  done < <(grep -o '](\([^)]*\))' "$doc" | sed 's/^](//; s/)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+  echo "docs link check FAILED"
+  exit 1
+fi
+echo "docs link check passed: ${docs[*]}"

@@ -66,6 +66,21 @@ ABR_FABRIC=flat ABR_TOPO=binomial ABR_ITERS=5 ABR_JOBS=2 \
 diff -u crates/bench/golden/fig6_iters5.txt FIG6_fabric_flat.txt \
   || { echo "ABR_FABRIC=flat diverged from the pre-fabric golden"; exit 1; }
 
+echo "==> bandwidth smoke (segmented pipeline + dual-root allreduce, capped at 256 KiB)"
+ABR_MSG_BYTES=262144 ABR_ITERS=5 ABR_JOBS=2 \
+  cargo run -q --release -p abr_bench --bin bandwidth_figure > FIG_bandwidth_smoke.txt
+grep -q '"schema": "abr-bw-v1"' BENCH_bw.json \
+  || { echo "BENCH_bw.json missing or malformed"; exit 1; }
+
+echo "==> segmentation-off golden diff (ABR_SEGMENTS=1 must not perturb figures)"
+ABR_SEGMENTS=1 ABR_TOPO=binomial ABR_ITERS=5 ABR_JOBS=2 \
+  cargo run -q --release -p abr_bench --bin fig6 > FIG6_segments_off.txt
+diff -u crates/bench/golden/fig6_iters5.txt FIG6_segments_off.txt \
+  || { echo "ABR_SEGMENTS=1 diverged from the pre-segmentation golden"; exit 1; }
+
+echo "==> docs link check (intra-repo links in the teaching docs)"
+./scripts/check_links.sh
+
 echo "==> parallel executor determinism (same figure under 2 and 8 shards)"
 ABR_DES_SHARDS=2 ABR_SCALE_MAX=1024 ABR_ITERS=5 ABR_JOBS=1 \
   ABR_SCALE_JSON=/dev/null \
