@@ -9,10 +9,12 @@
 
 use crate::bw_json::BwPoint;
 use crate::fabric_json::FabricPoint;
+use crate::tenant_json::TenantPoint;
 use abr_cluster::microbench::{AppBenchConfig, BenchColl, CpuUtilConfig, LatencyConfig, Mode};
 use abr_cluster::node::ClusterSpec;
 use abr_cluster::report::{f2, ratio, Table};
 use abr_cluster::sweep::{RunOut, RunSpec, Sweep};
+use abr_cluster::tenant::{run_tenant, saturation_config, TenantConfig};
 use abr_cluster::{FaultPlan, RelStats};
 use abr_core::DelayPolicy;
 use abr_fabric::{FabricSpec, PlacementPolicy};
@@ -1058,6 +1060,122 @@ pub fn custom_fault_tables(iters: u64, plan: &FaultPlan) -> Vec<Table> {
 
 fn rel_of(out: &RunOut) -> RelStats {
     out.cpu().rel.unwrap_or_default()
+}
+
+/// Seed of the tenant figure's job mixes.
+pub const TENANT_SEED: u64 = 17;
+
+/// The tenant figure's offered-load ladder.
+pub const TENANT_LADDER: [f64; 5] = [1.0, 2.0, 4.0, 6.0, 8.0];
+
+/// The knobs and per-point results of one tenant saturation sweep.
+pub struct TenantFigure {
+    /// Jobs co-scheduled at load 1 (`ABR_TENANT_JOBS`, default 2).
+    pub base_jobs: usize,
+    /// Ranks one node hosts at saturation (`ABR_TENANT_SLOTS`, default 4).
+    pub slots: usize,
+    /// One entry per ladder point, both engine modes folded in.
+    pub points: Vec<TenantPoint>,
+}
+
+/// The multi-tenant saturation figure: offered load swept up a fixed
+/// ladder on a fixed cluster, each point running the same seeded job mix
+/// under busy-polling baseline engines and under application-bypass
+/// engines (see `abr_cluster::tenant::saturation_config`). `ABR_TENANT_LOAD`
+/// caps the ladder (the cluster is sized for the capped top, so the last
+/// point is always the saturated one).
+pub fn fig_tenant_data() -> (Vec<Table>, TenantFigure) {
+    let base_jobs = abr_jobs::tenant_jobs_from_env().unwrap_or(2);
+    let slots = abr_jobs::tenant_slots_from_env().unwrap_or(4);
+    let cap = abr_jobs::tenant_load_from_env().unwrap_or(*TENANT_LADDER.last().expect("ladder"));
+    let mut ladder: Vec<f64> = TENANT_LADDER
+        .iter()
+        .copied()
+        .filter(|&l| l <= cap)
+        .collect();
+    if ladder.is_empty() {
+        // A cap below the ladder bottom still sweeps that single point.
+        ladder.push(cap);
+    }
+    let max_load = *ladder.last().expect("ladder is non-empty");
+    let configs: Vec<TenantConfig> = ladder
+        .iter()
+        .flat_map(|&load| {
+            [false, true]
+                .map(|ab| saturation_config(TENANT_SEED, base_jobs, load, max_load, slots, ab))
+        })
+        .collect();
+    let results = sweep().map(&configs, run_tenant);
+    let points: Vec<TenantPoint> = ladder
+        .iter()
+        .enumerate()
+        .map(|(i, &load)| {
+            let (nab, ab) = (&results[2 * i], &results[2 * i + 1]);
+            TenantPoint {
+                load,
+                jobs: configs[2 * i].mix.jobs.len(),
+                ranks: configs[2 * i].mix.total_ranks(),
+                nab_red_s: nab.reductions_per_sec,
+                ab_red_s: ab.reductions_per_sec,
+                nab_p50_us: nab.latency.p50,
+                nab_p99_us: nab.latency.p99,
+                nab_p999_us: nab.latency.p999,
+                ab_p50_us: ab.latency.p50,
+                ab_p99_us: ab.latency.p99,
+                ab_p999_us: ab.latency.p999,
+                nab_fairness: nab.fairness,
+                ab_fairness: ab.fairness,
+            }
+        })
+        .collect();
+
+    let mut t_thru = Table::new(
+        "fig_tenant (a): aggregate service throughput vs offered load",
+        &[
+            "load",
+            "jobs",
+            "ranks",
+            "nab red/s",
+            "ab red/s",
+            "ab advantage",
+        ],
+    );
+    let mut t_tail = Table::new(
+        "fig_tenant (b): pooled iteration-latency tails and Jain fairness",
+        &[
+            "load", "nab p50", "nab p99", "nab p999", "ab p50", "ab p99", "ab p999", "nab fair",
+            "ab fair",
+        ],
+    );
+    for p in &points {
+        t_thru.row(vec![
+            f2(p.load),
+            p.jobs.to_string(),
+            p.ranks.to_string(),
+            format!("{:.0}", p.nab_red_s),
+            format!("{:.0}", p.ab_red_s),
+            ratio(p.ab_red_s, p.nab_red_s),
+        ]);
+        t_tail.row(vec![
+            f2(p.load),
+            format!("{:.0}", p.nab_p50_us),
+            format!("{:.0}", p.nab_p99_us),
+            format!("{:.0}", p.nab_p999_us),
+            format!("{:.0}", p.ab_p50_us),
+            format!("{:.0}", p.ab_p99_us),
+            format!("{:.0}", p.ab_p999_us),
+            format!("{:.3}", p.nab_fairness),
+            format!("{:.3}", p.ab_fairness),
+        ]);
+    }
+    (
+        vec![t_thru, t_tail],
+        TenantFigure {
+            base_jobs,
+            slots,
+            points,
+        },
+    )
 }
 
 /// Print a set of tables.

@@ -16,6 +16,7 @@ pub mod fabric_json;
 pub mod figures;
 pub mod scale_json;
 pub mod sweep_json;
+pub mod tenant_json;
 
 /// Iterations per configuration, from `ABR_ITERS` (default 300).
 ///

@@ -1,0 +1,223 @@
+//! `BENCH_tenant.json`: the multi-tenant saturation figure record.
+//!
+//! The `tenant_figure` binary sweeps offered load up a fixed ladder on a
+//! fixed cluster (see `abr_cluster::tenant::saturation_config`): each
+//! point runs the same seeded job mix once under busy-polling baseline
+//! engines (nab) and once under application-bypass engines (ab), and
+//! records aggregate reductions/sec, pooled p50/p99/p999 iteration
+//! latency, and Jain fairness for both. The `headline` block pins the
+//! figure's claim — the ab throughput advantage *widens* as load rises —
+//! in machine-checkable form. The JSON is hand-rolled like
+//! `BENCH_sweep.json`; the output path defaults to `BENCH_tenant.json`
+//! and can be overridden with `ABR_TENANT_JSON`.
+
+use crate::sweep_json::FigureRecord;
+
+/// One offered-load point of the saturation sweep (both engine modes).
+#[derive(Debug, Clone)]
+pub struct TenantPoint {
+    /// Offered-load factor (x-axis).
+    pub load: f64,
+    /// Co-scheduled jobs at this point.
+    pub jobs: usize,
+    /// Total ranks across the mix.
+    pub ranks: usize,
+    /// Baseline aggregate throughput (reductions/sec).
+    pub nab_red_s: f64,
+    /// Bypass aggregate throughput (reductions/sec).
+    pub ab_red_s: f64,
+    /// Baseline pooled iteration-latency percentiles (µs).
+    pub nab_p50_us: f64,
+    /// Baseline p99 (µs).
+    pub nab_p99_us: f64,
+    /// Baseline p999 (µs).
+    pub nab_p999_us: f64,
+    /// Bypass pooled iteration-latency percentiles (µs).
+    pub ab_p50_us: f64,
+    /// Bypass p99 (µs).
+    pub ab_p99_us: f64,
+    /// Bypass p999 (µs).
+    pub ab_p999_us: f64,
+    /// Baseline Jain fairness over per-job throughput.
+    pub nab_fairness: f64,
+    /// Bypass Jain fairness over per-job throughput.
+    pub ab_fairness: f64,
+}
+
+impl TenantPoint {
+    /// The bypass throughput advantage at this point (ab / nab).
+    pub fn advantage(&self) -> f64 {
+        if self.nab_red_s <= 0.0 {
+            return 0.0;
+        }
+        self.ab_red_s / self.nab_red_s
+    }
+}
+
+/// The output path: `ABR_TENANT_JSON` or `BENCH_tenant.json`.
+///
+/// # Panics
+/// Panics on a set-but-empty `ABR_TENANT_JSON`.
+pub fn out_path() -> String {
+    abr_trace::parse_env("ABR_TENANT_JSON", parse_out_path)
+        .unwrap_or_else(|| "BENCH_tenant.json".to_string())
+}
+
+/// Validate an explicit `ABR_TENANT_JSON` value: any non-empty path.
+pub fn parse_out_path(raw: &str) -> Result<String, String> {
+    if raw.trim().is_empty() {
+        Err("ABR_TENANT_JSON must be a non-empty output path".to_string())
+    } else {
+        Ok(raw.to_string())
+    }
+}
+
+/// The figure's claim over a sweep: the ab advantage at the relaxed end,
+/// at the saturated end, and whether it widened. `None` for sweeps with
+/// fewer than two points.
+pub fn headline(points: &[TenantPoint]) -> Option<(f64, f64, bool)> {
+    if points.len() < 2 {
+        return None;
+    }
+    let lo = points.first()?.advantage();
+    let hi = points.last()?.advantage();
+    Some((lo, hi, hi > lo))
+}
+
+/// Render the summary document (schema `abr-tenant-v1`).
+pub fn render(
+    seed: u64,
+    base_jobs: usize,
+    slots: usize,
+    points: &[TenantPoint],
+    fig: &FigureRecord,
+) -> String {
+    let mut s = String::new();
+    s.push_str("{\n");
+    s.push_str("  \"schema\": \"abr-tenant-v1\",\n");
+    s.push_str(&format!("  \"seed\": {seed},\n"));
+    s.push_str(&format!("  \"base_jobs\": {base_jobs},\n"));
+    s.push_str(&format!("  \"slots\": {slots},\n"));
+    match headline(points) {
+        Some((lo, hi, widening)) => s.push_str(&format!(
+            "  \"headline\": {{\"adv_relaxed\": {lo:.3}, \"adv_saturated\": {hi:.3}, \
+             \"widening\": {widening}}},\n"
+        )),
+        None => s.push_str("  \"headline\": null,\n"),
+    }
+    s.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{\"load\": {}, \"jobs\": {}, \"ranks\": {}, \"nab_red_s\": {:.1}, \
+             \"ab_red_s\": {:.1}, \"advantage\": {:.3}, \"nab_p50_us\": {:.1}, \
+             \"nab_p99_us\": {:.1}, \"nab_p999_us\": {:.1}, \"ab_p50_us\": {:.1}, \
+             \"ab_p99_us\": {:.1}, \"ab_p999_us\": {:.1}, \"nab_fairness\": {:.4}, \
+             \"ab_fairness\": {:.4}}}{}\n",
+            p.load,
+            p.jobs,
+            p.ranks,
+            p.nab_red_s,
+            p.ab_red_s,
+            p.advantage(),
+            p.nab_p50_us,
+            p.nab_p99_us,
+            p.nab_p999_us,
+            p.ab_p50_us,
+            p.ab_p99_us,
+            p.ab_p999_us,
+            p.nab_fairness,
+            p.ab_fairness,
+            if i + 1 < points.len() { "," } else { "" }
+        ));
+    }
+    s.push_str("  ],\n");
+    s.push_str(&format!(
+        "  \"figure\": {{\"name\": \"{}\", \"points\": {}, \"wall_ms\": {:.3}}}\n",
+        fig.name, fig.points, fig.wall_ms
+    ));
+    s.push_str("}\n");
+    s
+}
+
+/// Write the summary to [`out_path`]; prints a notice on success and a
+/// warning (without failing the run) if the write is impossible.
+pub fn write(
+    seed: u64,
+    base_jobs: usize,
+    slots: usize,
+    points: &[TenantPoint],
+    fig: &FigureRecord,
+) {
+    let path = out_path();
+    match std::fs::write(&path, render(seed, base_jobs, slots, points, fig)) {
+        Ok(()) => eprintln!("tenant figure record written to {path}"),
+        Err(e) => eprintln!("warning: could not write {path}: {e}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pt(load: f64, nab: f64, ab: f64) -> TenantPoint {
+        TenantPoint {
+            load,
+            jobs: (2.0 * load) as usize,
+            ranks: (20.0 * load) as usize,
+            nab_red_s: nab,
+            ab_red_s: ab,
+            nab_p50_us: 400.0,
+            nab_p99_us: 900.0,
+            nab_p999_us: 1200.0,
+            ab_p50_us: 200.0,
+            ab_p99_us: 350.0,
+            ab_p999_us: 500.0,
+            nab_fairness: 0.97,
+            ab_fairness: 0.98,
+        }
+    }
+
+    #[test]
+    fn render_is_valid_shape_with_widening_headline() {
+        let points = vec![pt(1.0, 2000.0, 2020.0), pt(8.0, 30000.0, 62000.0)];
+        let fig = FigureRecord {
+            name: "fig_tenant",
+            points: 4,
+            wall_ms: 11.0,
+        };
+        let s = render(17, 2, 4, &points, &fig);
+        assert!(s.contains("\"schema\": \"abr-tenant-v1\""));
+        assert!(s.contains("\"widening\": true"));
+        assert!(s.contains("\"adv_relaxed\": 1.010"));
+        assert!(s.contains("\"advantage\": 2.067"));
+        assert_eq!(s.matches('{').count(), s.matches('}').count());
+        assert_eq!(s.matches('[').count(), s.matches(']').count());
+        abr_trace::validate_json(&s).expect("tenant record must be valid JSON");
+    }
+
+    #[test]
+    fn single_point_sweeps_render_null_headline() {
+        let fig = FigureRecord {
+            name: "fig_tenant",
+            points: 1,
+            wall_ms: 1.0,
+        };
+        let s = render(17, 2, 4, &[pt(1.0, 10.0, 10.0)], &fig);
+        assert!(s.contains("\"headline\": null"));
+    }
+
+    #[test]
+    fn advantage_guards_zero_baseline() {
+        assert_eq!(pt(1.0, 0.0, 10.0).advantage(), 0.0);
+        let p = pt(1.0, 10.0, 25.0);
+        assert!((p.advantage() - 2.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn parse_out_path_rejects_empty() {
+        assert_eq!(parse_out_path("t.json"), Ok("t.json".to_string()));
+        assert!(parse_out_path("  ")
+            .unwrap_err()
+            .contains("ABR_TENANT_JSON"));
+    }
+}

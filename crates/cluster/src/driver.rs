@@ -59,7 +59,7 @@ use abr_des::{CpuMeter, EventId, EventQueue, FxHashMap, SimDuration, SimTime};
 use abr_fabric::FabricNetwork;
 use abr_faults::{FaultInjector, FaultPlan, NodeReliability, RelConfig, RelEvent, RelStats};
 use abr_gm::nic::{LinkCost, NodeHw};
-use abr_gm::packet::Packet;
+use abr_gm::packet::{NodeId, Packet};
 use abr_gm::signal::SignalControl;
 use abr_mpr::engine::{Action, EngineConfig, MessageEngine};
 use abr_mpr::request::Outcome;
@@ -102,6 +102,31 @@ struct FaultState {
     tick: Vec<Option<(SimTime, EventId)>>,
 }
 
+/// Multi-tenant extension state, present only when the driver was built
+/// through [`DesDriver::new_jobs`]. With `None` every hot path is
+/// byte-for-byte the solo driver's — the same cost-neutrality discipline as
+/// [`FaultState`].
+///
+/// Engines in a tenant run are built with *job-local* ranks (so packet
+/// headers, communicators, and schedules all stay inside the job), and the
+/// driver owns the translation to the shared cluster: a global arena index
+/// per rank (`base_of[job] + local`), and a physical node per arena slot
+/// (`phys_of`) through which co-located ranks serialize on one NIC and
+/// contend for one CPU.
+struct TenantState {
+    /// Job of each global arena slot.
+    job_of: Vec<u32>,
+    /// First global arena slot of each job (ascending; one entry per job).
+    base_of: Vec<usize>,
+    /// Physical cluster node hosting each global arena slot.
+    phys_of: Vec<usize>,
+    /// Per-physical-node count of ranks currently blocked in a collective —
+    /// i.e. busy-polling, burning CPU their node neighbours need. This is
+    /// the CPU-contention signal: active work on a node is stretched by the
+    /// number of *other* co-located pollers.
+    polling_on_node: Vec<u32>,
+}
+
 enum NodeState {
     /// Executing a busy-loop step; `charge` is applied when it completes.
     Busy { charge: SimDuration, event: EventId },
@@ -134,6 +159,9 @@ struct RankState {
     /// NIC time from the most recent `apply_charges` (drives NIC-side
     /// forwarding latency in the offload extension).
     last_nic_charge: SimDuration,
+    /// Whether this rank is currently counted in its physical node's
+    /// poller tally (tenant runs only; always `false` solo).
+    polling_counted: bool,
 }
 
 impl RankState {
@@ -148,6 +176,7 @@ impl RankState {
             synth_signals: 0,
             interrupt_debt: SimDuration::ZERO,
             last_nic_charge: SimDuration::ZERO,
+            polling_counted: false,
         }
     }
 }
@@ -251,6 +280,7 @@ struct Core<E: MessageEngine, P: Program> {
     /// Reused buffer for draining engine actions (see `route_actions`).
     action_scratch: Vec<Action>,
     faults: Option<FaultState>,
+    tenant: Option<TenantState>,
     /// Stamp events with partition-independent `(origin, counter)` keys
     /// instead of the queue's FIFO sequence. Off for the sequential
     /// executor (byte-identical legacy order), on for the sharded one.
@@ -309,6 +339,66 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
                 dur,
             });
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Multi-tenant contention helpers
+    // ------------------------------------------------------------------
+
+    /// Wall-clock duration of `d` of CPU work on rank `i`'s host, under the
+    /// tenant CPU-contention model: work is stretched by one extra multiple
+    /// per *other* co-located rank that is currently busy-polling inside a
+    /// blocking call (a deterministic timeslicing approximation, sampled
+    /// when the work is scheduled). Solo drivers — and tenant ranks with no
+    /// polling neighbours — take the `d`-unchanged early exits, so the
+    /// pre-existing figures never see this arithmetic.
+    #[inline]
+    fn stretched(&self, i: usize, d: SimDuration) -> SimDuration {
+        let Some(ts) = &self.tenant else {
+            return d;
+        };
+        let mut others = ts.polling_on_node[ts.phys_of[i]];
+        if self.rank[i - self.base].polling_counted {
+            others -= 1; // don't contend with yourself
+        }
+        if others == 0 {
+            return d;
+        }
+        SimDuration::from_nanos(d.as_nanos().saturating_mul(1 + others as u64))
+    }
+
+    /// Rank `i` entered a blocking call that busy-polls: count it against
+    /// its node's CPU. Signal-driven engines in an unbounded wait park the
+    /// core instead ([`MessageEngine::sleeps_when_blocked`]) and are never
+    /// counted; a §IV-E *bounded* poll is a genuine spin regardless of the
+    /// engine, so it always counts for its (short) window.
+    #[inline]
+    fn tenant_poll_start(&mut self, i: usize, bounded: bool) {
+        let Some(ts) = &mut self.tenant else {
+            return;
+        };
+        let l = i - self.base;
+        debug_assert!(!self.rank[l].polling_counted, "double poll-start");
+        if !bounded && self.engines[l].sleeps_when_blocked() {
+            return;
+        }
+        ts.polling_on_node[ts.phys_of[i]] += 1;
+        self.rank[l].polling_counted = true;
+    }
+
+    /// Rank `i` left its blocking call (completion or split-phase exit).
+    /// A no-op for ranks that slept instead of polling.
+    #[inline]
+    fn tenant_poll_stop(&mut self, i: usize) {
+        let Some(ts) = &mut self.tenant else {
+            return;
+        };
+        let l = i - self.base;
+        if !self.rank[l].polling_counted {
+            return;
+        }
+        ts.polling_on_node[ts.phys_of[i]] -= 1;
+        self.rank[l].polling_counted = false;
     }
 
     // ------------------------------------------------------------------
@@ -371,10 +461,46 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
         }
     }
 
+    /// Tenant-mode transmit: packet headers carry *job-local* ranks, so the
+    /// driver resolves the destination's global arena slot through the
+    /// sender's job base, and computes delivery with the header temporarily
+    /// rewritten to *physical node* ids — the network keys NIC-injection
+    /// serialization and FIFO floors off header ids, so co-located ranks
+    /// (any job) share one NIC clock exactly as they share hardware. The
+    /// job-local header is restored before delivery, keeping the receiving
+    /// engine's rank-addressing invariants intact. Per-(src,dst)-floor FIFO
+    /// order survives the remap: a job pair's packets are a subsequence of
+    /// its physical pair's, and the floor keeps the full sequence monotone.
+    fn transmit_tenant(&mut self, i: usize, mut pkt: Packet, stamp: SimTime) {
+        let ts = self.tenant.as_ref().expect("tenant transmit");
+        let dst = ts.base_of[ts.job_of[i] as usize] + pkt.header.dst.index();
+        let (psrc, pdst) = (ts.phys_of[i], ts.phys_of[dst]);
+        // Wire seqs per *global* rank pair: distinct jobs' identical local
+        // pairs must not share a counter.
+        let seq = self.wire_seq.entry((i as u32, dst as u32)).or_insert(0);
+        pkt.header.wire_seq = *seq;
+        *seq += 1;
+        let src_hw = self.hw[i];
+        let dst_hw = self.hw[dst];
+        let (local_src, local_dst) = (pkt.header.src, pkt.header.dst);
+        pkt.header.src = NodeId(psrc as u32);
+        pkt.header.dst = NodeId(pdst as u32);
+        let arrive = self.network.delivery_time(stamp, &src_hw, &dst_hw, &pkt);
+        pkt.header.src = local_src;
+        pkt.header.dst = local_dst;
+        self.send_deliver(i, dst, arrive, pkt);
+    }
+
     /// Put a packet on the wire: stamp `wire_seq`, run the fault injector,
     /// and schedule delivery for every surviving copy. Retransmissions and
     /// acks enter here directly (they bypass `on_send`).
     fn transmit_raw(&mut self, i: usize, mut pkt: Packet, stamp: SimTime) {
+        if self.tenant.is_some() {
+            // Fault injection is rejected at tenant construction, so the
+            // whole reliability path stays solo-only.
+            self.transmit_tenant(i, pkt, stamp);
+            return;
+        }
         let key = (pkt.header.src.0, pkt.header.dst.0);
         let seq = self.wire_seq.entry(key).or_insert(0);
         pkt.header.wire_seq = *seq;
@@ -478,11 +604,14 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
     }
 
     /// The node just ran engine work inline at `t`: charge it, advance the
-    /// CPU cursor, route outputs. Returns the new CPU-free instant.
+    /// CPU cursor, route outputs. Returns the new CPU-free instant. The
+    /// meter records the CPU *work* `w`; the cursor advances by its
+    /// (tenant-contention) wall-clock stretch.
     fn finish_call(&mut self, i: usize, t: SimTime) -> SimTime {
         let w = self.apply_charges(i);
-        self.record_span(i, CpuCategory::Protocol, t, w);
-        let end = t + w;
+        let wall = self.stretched(i, w);
+        self.record_span(i, CpuCategory::Protocol, t, wall);
+        let end = t + wall;
         self.rank[i - self.base].cpu_free_at = end;
         self.route_actions(i, end);
         end
@@ -508,6 +637,7 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
         let l = i - self.base;
         self.engines[l].handle_signal();
         let w = self.apply_charges(i);
+        let w = self.stretched(i, w);
         self.record_span(i, CpuCategory::SignalHandler, t, w);
         match self.rank[l].state {
             NodeState::Busy { charge, event } => {
@@ -663,6 +793,7 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
             self.meters[l].charge(CpuCategory::Polling, t - poll_from);
             self.record_span(i, CpuCategory::Polling, poll_from, t - poll_from);
         }
+        self.tenant_poll_stop(i);
         let exit_at = self.rank[l].cpu_free_at.max(t);
         self.engines[l].split_phase_exit(req);
         let end = self.finish_call(i, exit_at);
@@ -703,6 +834,7 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
             if let Some(ev) = deadline_event {
                 self.queue.cancel(ev);
             }
+            self.tenant_poll_stop(i);
             self.consume_outcome(i, req);
             self.rank[l].gen += 1;
             self.maybe_synth_signal(i, end);
@@ -734,7 +866,9 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
             match step {
                 Step::Busy(d) => {
                     self.traces[l].emit(TraceEvent::EngineState { state: "busy" });
-                    let end = t + d;
+                    // `d` of CPU work; the wall span stretches under tenant
+                    // CPU contention while the meter still charges `d`.
+                    let end = t + self.stretched(i, d);
                     let gen = self.rank[l].gen;
                     let event = self.sched(i, end, Ev::StepDone { node: i, gen });
                     self.rank[l].state = NodeState::Busy { charge: d, event };
@@ -847,6 +981,7 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
         };
         self.rank[l].poll_from = t;
         self.rank[l].cpu_free_at = t;
+        self.tenant_poll_start(i, budget.is_some());
     }
 
     fn post_blocking(&mut self, i: usize, step: Step) -> ReqId {
@@ -964,6 +1099,7 @@ impl<E: MessageEngine, P: Program> Core<E, P> {
                 timeline: None,
                 action_scratch: Vec::new(),
                 faults: None,
+                tenant: None,
                 keyed: true,
                 key_ctr,
                 outbox: Vec::new(),
@@ -1080,6 +1216,7 @@ impl<E: MessageEngine, P: Program> DesDriver<E, P> {
             timeline: None,
             action_scratch: Vec::new(),
             faults: None,
+            tenant: None,
             keyed: false,
             key_ctr: vec![0; n],
             outbox: Vec::new(),
@@ -1092,6 +1229,147 @@ impl<E: MessageEngine, P: Program> DesDriver<E, P> {
             now_floor: SimTime::ZERO,
             started: false,
         }
+    }
+
+    /// Build a *multi-tenant* driver: one engine set per job, all jobs
+    /// co-scheduled on the cluster `spec` describes.
+    ///
+    /// `placements[job][local_rank]` names the physical node (an index into
+    /// `spec.nodes`) hosting that rank; several ranks — same job or
+    /// different jobs — may share a node, in which case they serialize on
+    /// its NIC-injection clock and stretch each other's CPU work (the
+    /// tenant contention model). Engines are constructed with **job-local**
+    /// ranks
+    /// via `make_engine(job, rank, job_size, config)`, so each job is a
+    /// self-contained world: its packets, communicators, and collective
+    /// sequence numbers never observe the other tenants. The factory should
+    /// rebind the engine's world communicator to
+    /// `Communicator::job(job, size)` so collective-seq namespaces are
+    /// per-job (job 0's is the classic world — a single-job tenant run with
+    /// [`abr_jobs::Placement::identity`] is bit-identical to
+    /// [`DesDriver::new`], which the equivalence tests pin).
+    ///
+    /// Results come back flattened in job-major order ([`DesDriver::results`])
+    /// or pre-sliced per job ([`DesDriver::results_by_job`]).
+    ///
+    /// # Panics
+    /// Panics on shape mismatches (placement vs. program counts, node
+    /// indices outside the cluster) or an empty job list.
+    pub fn new_jobs(
+        spec: &ClusterSpec,
+        placements: &[Vec<usize>],
+        mut make_engine: impl FnMut(u32, u32, u32, EngineConfig) -> E,
+        programs: Vec<Vec<P>>,
+    ) -> Self {
+        let phys_nodes = spec.len();
+        assert!(
+            !placements.is_empty(),
+            "a tenant run needs at least one job"
+        );
+        assert_eq!(programs.len(), placements.len(), "one program set per job");
+        let config = EngineConfig {
+            cost: spec.cost.clone(),
+            eager_limit: spec.eager_limit,
+            memory_budget: None,
+            allreduce_rs_threshold: 2048,
+            topology: spec.topology,
+            shared_schedules: true,
+            segments: spec.segments,
+        };
+        let mut job_of = Vec::new();
+        let mut base_of = Vec::with_capacity(placements.len());
+        let mut phys_of = Vec::new();
+        let mut hw = Vec::new();
+        let mut engines = Vec::new();
+        for (j, hosts) in placements.iter().enumerate() {
+            assert_eq!(
+                programs[j].len(),
+                hosts.len(),
+                "job {j}: one program per rank"
+            );
+            assert!(!hosts.is_empty(), "job {j} has no ranks");
+            base_of.push(job_of.len());
+            let size = hosts.len() as u32;
+            for (r, &p) in hosts.iter().enumerate() {
+                assert!(
+                    p < phys_nodes,
+                    "job {j} rank {r}: node {p} outside the {phys_nodes}-node cluster"
+                );
+                job_of.push(j as u32);
+                phys_of.push(p);
+                hw.push(spec.nodes[p]);
+                engines.push(make_engine(j as u32, r as u32, size, config.clone()));
+            }
+        }
+        let programs: Vec<P> = programs.into_iter().flatten().collect();
+        let n = programs.len();
+        let tenant = TenantState {
+            job_of,
+            base_of,
+            phys_of,
+            polling_on_node: vec![0; phys_nodes],
+        };
+        let core = Core {
+            base: 0,
+            queue: EventQueue::new(),
+            // The network is sized (and addressed) by *physical* nodes:
+            // tenant transmits rewrite header ids to physical before asking
+            // for a delivery time.
+            network: FabricNetwork::new(spec.cost.clone(), spec.fabric.clone(), phys_nodes as u32),
+            engines,
+            programs,
+            signals: (0..n).map(|_| SignalControl::new()).collect(),
+            meters: (0..n).map(|_| CpuMeter::new()).collect(),
+            ctxs: (0..n).map(|_| StepCtx::new()).collect(),
+            rank: (0..n).map(|_| RankState::fresh()).collect(),
+            traces: vec![TraceHandle::default(); n],
+            hw,
+            wire_seq: FxHashMap::default(),
+            done_count: 0,
+            packets_delivered: 0,
+            events: 0,
+            timeline: None,
+            action_scratch: Vec::new(),
+            faults: None,
+            tenant: Some(tenant),
+            keyed: false,
+            key_ctr: vec![0; n],
+            outbox: Vec::new(),
+        };
+        DesDriver {
+            core,
+            max_events: 2_000_000_000,
+            packets_delivered: 0,
+            tracer: None,
+            now_floor: SimTime::ZERO,
+            started: false,
+        }
+    }
+
+    /// The per-job rank→job map of a tenant driver (global arena order), or
+    /// `None` for a solo driver. Feed this to
+    /// `abr_trace::RingRecorder::set_job_map` so trace events carry job ids.
+    pub fn job_map(&self) -> Option<Vec<u32>> {
+        self.core.tenant.as_ref().map(|t| t.job_of.clone())
+    }
+
+    /// Per-job result slices of a tenant run, in job-id order.
+    ///
+    /// # Panics
+    /// Panics when called on a solo (non-tenant) driver.
+    pub fn results_by_job(&self) -> Vec<Vec<NodeResult>> {
+        let flat = self.results();
+        let ts = self
+            .core
+            .tenant
+            .as_ref()
+            .expect("results_by_job requires a driver built with new_jobs");
+        let mut out = Vec::with_capacity(ts.base_of.len());
+        for (j, &start) in ts.base_of.iter().enumerate() {
+            let end = ts.base_of.get(j + 1).copied().unwrap_or(flat.len());
+            out.push(flat[start..end].to_vec());
+        }
+        out
     }
 
     /// Wire a [`Tracer`] through the whole stack: each rank's CPU meter,
@@ -1127,6 +1405,12 @@ impl<E: MessageEngine, P: Program> DesDriver<E, P> {
         if plan.is_none() {
             return;
         }
+        assert!(
+            self.core.tenant.is_none(),
+            "fault injection is not supported on multi-tenant drivers: the \
+             reliability layer addresses packets by global rank, which tenant \
+             headers (job-local) would alias"
+        );
         let n = self.core.len();
         let mut state = FaultState {
             injector: FaultInjector::new(plan.clone()),
@@ -1255,6 +1539,11 @@ impl<E: MessageEngine + Send, P: Program> DesDriver<E, P> {
         assert!(
             self.core.faults.is_none(),
             "parallel execution does not support fault injection; use run()"
+        );
+        assert!(
+            self.core.tenant.is_none(),
+            "parallel execution does not support multi-tenant drivers: the \
+             per-node poller tallies are global order-dependent state; use run()"
         );
         assert!(
             self.tracer.is_none(),
@@ -1397,6 +1686,9 @@ impl<E: MessageEngine + Send, P: Program> DesDriver<E, P> {
         let mut reasons: Vec<&str> = Vec::new();
         if self.core.faults.is_some() {
             reasons.push("fault injection");
+        }
+        if self.core.tenant.is_some() {
+            reasons.push("multi-tenant state");
         }
         if self.tracer.is_some() {
             reasons.push("tracing");

@@ -13,6 +13,9 @@
 //!   §VI, parameterized exactly like the paper's figures,
 //! * [`live`] — a real threaded runtime (one OS thread per rank plus one
 //!   signal-dispatcher thread per rank) running the same engines,
+//! * [`tenant`] — the multi-tenant collective service: seeded job mixes
+//!   co-scheduled over engine sets, with shared-node contention and the
+//!   saturation-sweep metrics (throughput, latency tails, Jain fairness),
 //! * [`report`] — plain-text table rendering for the figure harnesses.
 
 //! # Example
@@ -43,9 +46,12 @@ pub mod node;
 pub mod program;
 pub mod report;
 pub mod sweep;
+pub mod tenant;
 
 pub use abr_faults::{FaultPlan, RelConfig, RelStats};
 pub use driver::DesDriver;
 pub use microbench::{CpuUtilConfig, CpuUtilResult, LatencyConfig, LatencyResult};
 pub use node::ClusterSpec;
 pub use program::{Program, Step, StepCtx};
+pub use report::{percentile, Percentiles};
+pub use tenant::{run_tenant, saturation_config, TenantConfig, TenantResult};

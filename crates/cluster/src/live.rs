@@ -279,6 +279,10 @@ pub struct LiveRankStats {
 pub struct RankCtx {
     rank: Rank,
     size: u32,
+    /// The communicator every blocking verb runs over: the world
+    /// communicator in a solo run, the job communicator under
+    /// [`run_live_jobs`] (ranks are job-local either way).
+    comm: Communicator,
     shared: Arc<RankShared>,
 }
 
@@ -293,9 +297,10 @@ impl RankCtx {
         self.size
     }
 
-    /// The world communicator.
+    /// The communicator this rank's collectives run over (the world
+    /// communicator, or the job communicator under [`run_live_jobs`]).
     pub fn world(&self) -> Communicator {
-        Communicator::world(self.size)
+        self.comm
     }
 
     fn block_on(&self, req: ReqId) -> Option<Outcome> {
@@ -726,6 +731,80 @@ pub fn run_live_traced<R: Send>(
     f: impl Fn(&RankCtx) -> R + Send + Sync,
 ) -> LiveOutcome<R> {
     let n = spec.len() as u32;
+    run_live_world(
+        spec,
+        ab,
+        plan,
+        rel_cfg,
+        tracer,
+        Communicator::world(n),
+        n,
+        &f,
+    )
+}
+
+/// Run several jobs concurrently over the live runtime: one engine set and
+/// one private [`LiveFabric`] per job (jobs are closed under communication,
+/// so no cross-job packets exist to route), with every job's collectives
+/// running over its [`Communicator::job`] context. `sizes[j]` is job `j`'s
+/// rank count; the closure gets `(job, ctx)` and runs on job-local ranks
+/// `0..sizes[j]`. Returns each job's rank-ordered results, in job order.
+///
+/// This is the live twin of the DES driver's `new_jobs` construction path:
+/// the contention co-scheduled jobs exert on each other here is real —
+/// every rank is an OS thread and nab ranks burn host CPU busy-polling.
+pub fn run_live_jobs<R: Send>(
+    spec: &ClusterSpec,
+    ab: AbConfig,
+    sizes: &[u32],
+    f: impl Fn(u32, &RankCtx) -> R + Send + Sync,
+) -> Vec<Vec<R>> {
+    assert!(!sizes.is_empty(), "run_live_jobs needs at least one job");
+    let mut out: Vec<Option<Vec<R>>> = sizes.iter().map(|_| None).collect();
+    std::thread::scope(|s| {
+        for (j, slot) in out.iter_mut().enumerate() {
+            let size = sizes[j];
+            assert!(size >= 1, "job {j} has no ranks");
+            let ab = ab.clone();
+            let f = &f;
+            s.spawn(move || {
+                let job = j as u32;
+                let jf = move |ctx: &RankCtx| f(job, ctx);
+                *slot = Some(
+                    run_live_world(
+                        spec,
+                        ab,
+                        &FaultPlan::none(),
+                        RelConfig::live_default(),
+                        None,
+                        Communicator::job(job, size),
+                        size,
+                        &jf,
+                    )
+                    .results,
+                );
+            });
+        }
+    });
+    out.into_iter()
+        .map(|o| o.expect("job thread completed"))
+        .collect()
+}
+
+/// The shared body of [`run_live_traced`] and [`run_live_jobs`]: run `n`
+/// rank threads whose collectives travel over `world` (the world
+/// communicator, or a job communicator for one job of a tenant run).
+#[allow(clippy::too_many_arguments)]
+fn run_live_world<R: Send, F: Fn(&RankCtx) -> R + Send + Sync>(
+    spec: &ClusterSpec,
+    ab: AbConfig,
+    plan: &FaultPlan,
+    rel_cfg: RelConfig,
+    tracer: Option<Arc<dyn Tracer>>,
+    world: Communicator,
+    n: u32,
+    f: &F,
+) -> LiveOutcome<R> {
     let fabric = Arc::new(LiveFabric::new(n as usize));
     let faults = (!plan.is_none()).then(|| {
         let fl = LiveFaults::new(Arc::clone(&fabric), plan);
@@ -753,6 +832,10 @@ pub fn run_live_traced<R: Send>(
                 rel: faults.as_ref().map(|_| NodeReliability::new(r, rel_cfg)),
                 pending_collective: false,
             };
+            // Rebind the collective context: a no-op for solo runs (the
+            // engine is born with `world(n)`), the job communicator under
+            // `run_live_jobs`.
+            state.eng.set_world(world);
             if let Some(t) = &tracer {
                 let h = TraceHandle::new(t.clone(), r);
                 state.eng.set_tracer(h.clone());
@@ -844,6 +927,7 @@ pub fn run_live_traced<R: Send>(
                 let ctx = RankCtx {
                     rank: r as u32,
                     size: n,
+                    comm: world,
                     shared: Arc::clone(&shared),
                 };
                 *slot = Some(f(&ctx));
@@ -1068,6 +1152,27 @@ mod tests {
         );
         assert_eq!(bytes_to_f64s(out.results[0].as_ref().unwrap()), vec![4.0]);
         assert_eq!(out.rel, RelStats::default());
+    }
+
+    #[test]
+    fn live_jobs_run_concurrently_and_independently() {
+        // Three differently-sized jobs co-scheduled on real threads: each
+        // job's allreduce must see only its own ranks' contributions.
+        let sizes = [4u32, 2, 3];
+        let results = run_live_jobs(&spec(4), AbConfig::default(), &sizes, |job, ctx| {
+            let data = f64s_to_bytes(&[(ctx.rank() + 1) as f64]);
+            let out = ctx.allreduce(ReduceOp::Sum, Datatype::F64, &data).unwrap();
+            (job, bytes_to_f64s(&out)[0])
+        });
+        assert_eq!(results.len(), 3);
+        for (j, &sz) in sizes.iter().enumerate() {
+            let expect: f64 = (1..=sz).map(f64::from).sum();
+            assert_eq!(results[j].len(), sz as usize, "job {j} rank count");
+            for (r, &(job, v)) in results[j].iter().enumerate() {
+                assert_eq!(job, j as u32, "job {j} rank {r} saw the wrong job id");
+                assert_eq!(v, expect, "job {j} rank {r} reduced across job lines");
+            }
+        }
     }
 
     #[test]

@@ -22,7 +22,7 @@ use abr_des::rng::StreamRng;
 use abr_des::stats::Accumulator;
 use abr_des::{SimDuration, SimTime};
 use abr_faults::{FaultPlan, RelConfig, RelStats};
-use abr_mpr::engine::{Engine, EngineConfig};
+use abr_mpr::engine::{Engine, EngineConfig, MessageEngine};
 use abr_mpr::op::ReduceOp;
 use abr_mpr::types::{f64s_to_bytes, Datatype, Rank};
 use abr_trace::Tracer;
@@ -413,15 +413,10 @@ fn aggregate_cpu(nodes: Vec<NodeResult>) -> CpuUtilResult {
         per_node_us.push(acc.mean());
     }
     samples.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
-    let pct = |q: f64| -> f64 {
-        if samples.is_empty() {
-            0.0
-        } else {
-            let idx = ((samples.len() - 1) as f64 * q).round() as usize;
-            samples[idx]
-        }
-    };
-    let (p50_us, p95_us) = (pct(0.5), pct(0.95));
+    let (p50_us, p95_us) = (
+        crate::report::percentile(&samples, 0.5),
+        crate::report::percentile(&samples, 0.95),
+    );
     let max_us = samples.last().copied().unwrap_or(0.0);
     let signals = nodes.iter().map(|n| n.signals_raised).sum();
     let signals_suppressed = nodes.iter().map(|n| n.signals_suppressed_busy).sum();
@@ -477,6 +472,48 @@ fn run_cpu_driver<E: abr_mpr::engine::MessageEngine + Send, P: Program + Send>(
     res
 }
 
+/// `ABR_TENANT_SOLO`: when truthy, every microbenchmark driver is built
+/// through the multi-tenant jobs path ([`DesDriver::new_jobs`]) as a single
+/// job with the identity placement — which must be bit-identical to the
+/// legacy solo path. CI pins exactly that: `ABR_TENANT_SOLO=1` fig6 diffs
+/// clean against the committed golden.
+///
+/// # Panics
+/// Panics on a set-but-invalid value (anything but `0`/`1`/`false`/`true`).
+pub fn tenant_solo_from_env() -> bool {
+    abr_trace::parse_env("ABR_TENANT_SOLO", |raw| match raw.trim() {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        _ => Err(format!(
+            "ABR_TENANT_SOLO must be 0/1/false/true, got {raw:?}"
+        )),
+    })
+    .unwrap_or(false)
+}
+
+/// Build a solo driver for the microbenchmarks: the legacy one-engine-per-
+/// rank constructor by default, or — under `ABR_TENANT_SOLO` — the
+/// multi-tenant constructor degenerated to one identity-placed job, so the
+/// figure suite continuously proves the tenant refactor is behavior-
+/// preserving.
+fn solo_driver<E: MessageEngine, P: Program>(
+    cluster: &ClusterSpec,
+    mut make_engine: impl FnMut(u32, EngineConfig) -> E,
+    programs: Vec<P>,
+) -> DesDriver<E, P> {
+    if tenant_solo_from_env() {
+        let placement = abr_jobs::Placement::identity(cluster.len());
+        DesDriver::new_jobs(
+            cluster,
+            &placement.node_of,
+            |_job, rank, _size, ec| make_engine(rank, ec),
+            vec![programs],
+        )
+    } else {
+        DesDriver::new(cluster, make_engine, programs)
+    }
+}
+
 /// Run the CPU-utilization benchmark.
 pub fn run_cpu_util(cfg: &CpuUtilConfig) -> CpuUtilResult {
     run_cpu_util_traced(cfg, None)
@@ -488,7 +525,7 @@ pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>)
     let n = cfg.cluster.len() as u32;
     match cfg.mode {
         Mode::Baseline => {
-            let d = DesDriver::new(
+            let d = solo_driver(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| Engine::new(rank, n, ec),
                 cpu_util_programs(cfg),
@@ -496,7 +533,7 @@ pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>)
             run_cpu_driver(d, &cfg.faults, tracer)
         }
         Mode::Bypass(delay) => {
-            let d = DesDriver::new(
+            let d = solo_driver(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| {
                     AbEngine::new(
@@ -515,7 +552,7 @@ pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>)
             run_cpu_driver(d, &cfg.faults, tracer)
         }
         Mode::SplitPhase => {
-            let d = DesDriver::new(
+            let d = solo_driver(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| {
                     AbEngine::new(
@@ -534,7 +571,7 @@ pub fn run_cpu_util_traced(cfg: &CpuUtilConfig, tracer: Option<Arc<dyn Tracer>>)
             run_cpu_driver(d, &cfg.faults, tracer)
         }
         Mode::NicBypass => {
-            let d = DesDriver::new(
+            let d = solo_driver(
                 &cfg.cluster,
                 |rank, ec: EngineConfig| AbEngine::new(rank, n, ec, AbConfig::nic_offload()),
                 cpu_util_programs(cfg),

@@ -238,6 +238,13 @@ impl AbEngine {
         &mut self.inner
     }
 
+    /// Rebind the world communicator (per-job contexts in a multi-tenant
+    /// run); delegates to the wrapped engine, which owns all sequence
+    /// allocation.
+    pub fn set_world(&mut self, world: Communicator) {
+        self.inner.set_world(world);
+    }
+
     /// Outstanding descriptors (diagnostics).
     pub fn descriptor_queue(&self) -> &DescriptorQueue {
         &self.descriptors
@@ -1635,6 +1642,13 @@ impl MessageEngine for AbEngine {
 
     fn bounded_block_hint(&self, req: ReqId) -> Option<SimDuration> {
         self.hints.get(&req.raw()).copied()
+    }
+
+    fn sleeps_when_blocked(&self) -> bool {
+        // With bypass on, the NIC raises a signal for every arrival that
+        // matters, so a blocked caller can park in `sigsuspend` instead of
+        // spinning on the progress engine.
+        self.config.enabled
     }
 
     fn split_phase_exit(&mut self, req: ReqId) {

@@ -40,6 +40,27 @@ impl Communicator {
         }
     }
 
+    /// The world communicator of tenant job `job` over `size` ranks.
+    ///
+    /// Job 0 *is* the classic world communicator — a single-job tenant run
+    /// must be bit-identical to the solo driver path — while every later
+    /// job gets a context pair in a high band ([`Communicator::JOB_BASE`]
+    /// and up) that can never collide with [`Communicator::derived`]
+    /// communicators an application creates inside any job.
+    pub fn job(job: u32, size: u32) -> Self {
+        if job == 0 {
+            return Communicator::world(size);
+        }
+        Communicator {
+            pt2pt_context: Self::JOB_BASE + 2 * job,
+            coll_context: Self::JOB_BASE + 2 * job + 1,
+            size,
+        }
+    }
+
+    /// First context id of the per-job band used by [`Communicator::job`].
+    pub const JOB_BASE: u32 = 1 << 16;
+
     /// Validate a rank against this communicator.
     pub fn check_rank(&self, rank: Rank) -> Result<(), MprError> {
         if rank < self.size {
@@ -74,6 +95,25 @@ mod tests {
             let c = Communicator::derived(n, 4);
             assert!(seen.insert(c.pt2pt_context), "pt2pt ctx collision at {n}");
             assert!(seen.insert(c.coll_context), "coll ctx collision at {n}");
+        }
+    }
+
+    #[test]
+    fn job_zero_is_world_and_later_jobs_never_collide() {
+        assert_eq!(Communicator::job(0, 8), Communicator::world(8));
+        let mut seen = std::collections::HashSet::new();
+        // A generous band of application-derived communicators…
+        for n in 0..1000 {
+            let c = Communicator::derived(n, 8);
+            seen.insert(c.pt2pt_context);
+            seen.insert(c.coll_context);
+        }
+        // …must stay disjoint from every per-job context pair.
+        for job in 1..64 {
+            let c = Communicator::job(job, 8);
+            assert_ne!(c.pt2pt_context, c.coll_context);
+            assert!(seen.insert(c.pt2pt_context), "job {job} pt2pt collision");
+            assert!(seen.insert(c.coll_context), "job {job} coll collision");
         }
     }
 

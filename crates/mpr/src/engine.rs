@@ -152,6 +152,11 @@ pub struct Engine {
     /// them via `Arc` so tree structure is computed once per shape.
     scheds: ScheduleCache,
     trace: TraceHandle,
+    /// This engine's world communicator. Defaults to the classic world
+    /// contexts; a multi-tenant harness rebinds it (via [`Engine::set_world`])
+    /// to a per-job context pair so collective sequence numbers — keyed by
+    /// `coll_context` in `coll_seqs` — live in per-job namespaces.
+    world: Communicator,
 }
 
 /// Result of stepping one collective.
@@ -212,6 +217,7 @@ impl Engine {
             last_rel_seq: HashMap::new(),
             scheds,
             trace: TraceHandle::default(),
+            world: Communicator::world(size),
         }
     }
 
@@ -253,9 +259,17 @@ impl Engine {
         self.size
     }
 
-    /// The world communicator.
+    /// The world communicator (per-job contexts under multi-tenancy).
     pub fn world(&self) -> Communicator {
-        Communicator::world(self.size)
+        self.world
+    }
+
+    /// Rebind this engine's world communicator, e.g. to a per-job context
+    /// pair from [`Communicator::job`] in a multi-tenant run. The size must
+    /// match the engine's; `Communicator::job(0, size)` is the identity.
+    pub fn set_world(&mut self, world: Communicator) {
+        assert_eq!(world.size, self.size, "world communicator size mismatch");
+        self.world = world;
     }
 
     /// Derive a fresh communicator (all ranks must call in the same order).
@@ -2324,6 +2338,16 @@ pub trait MessageEngine {
     /// signals are enabled (used by drivers to synthesize the "enable
     /// signals with work already queued" edge).
     fn has_pending_signal_work(&self) -> bool;
+    /// True when an *unbounded* blocking wait on this engine parks the
+    /// host CPU instead of busy-polling: signal-driven progress completes
+    /// the operation and wakes the caller, so the core is free for
+    /// co-located work in the meantime. The baseline returns `false` —
+    /// its only progress path is the caller's poll loop, so a blocked
+    /// rank must spin. Multi-tenant drivers use this to decide whether a
+    /// blocked rank burns a CPU its node neighbours need.
+    fn sleeps_when_blocked(&self) -> bool {
+        false
+    }
     /// Implementation-defined counters for reports.
     fn counters(&self) -> Vec<(&'static str, u64)>;
     /// Blocking-call semantics for `req`: `None` means the caller must poll

@@ -36,8 +36,7 @@ fn ts_us(t_ns: u64) -> String {
     format!("{}.{:03}", t_ns / 1_000, t_ns % 1_000)
 }
 
-fn push_event(out: &mut String, pid: u32, t_ns: u64, ev: &TraceEvent) {
-    let (tid, _) = lane(ev);
+fn push_event(out: &mut String, pid: u32, tid: u32, t_ns: u64, ev: &TraceEvent) {
     let cat = ev.category();
     let (ph, name, dur, args) = match *ev {
         TraceEvent::PhaseEnter { phase } => ("B", phase, None, String::new()),
@@ -124,6 +123,13 @@ fn push_event(out: &mut String, pid: u32, t_ns: u64, ev: &TraceEvent) {
 
 /// Render a drained [`Trace`] as Chrome `trace_event` JSON.
 ///
+/// Single-tenant traces (the default) map each rank to a process
+/// (`pid = rank`) with category lanes as threads. When the trace was
+/// recorded with a job map installed ([`Trace::has_jobs`]), the layout
+/// switches to one process **per job** (`pid = job`, named `"job {j}"`)
+/// with `tid = rank * 8 + lane` so every rank keeps its own lane group
+/// inside its job's process — co-scheduled jobs render side by side.
+///
 /// # Examples
 ///
 /// ```
@@ -141,32 +147,63 @@ pub fn chrome_trace_json(trace: &Trace) -> String {
     let mut out = String::with_capacity(256 + trace.len() * 96);
     out.push_str("{\"traceEvents\":[");
     let mut first = true;
+    let mut jobs_named: std::collections::BTreeSet<u32> = std::collections::BTreeSet::new();
     for (rank, recs) in trace.per_rank.iter().enumerate() {
         if recs.is_empty() {
             continue;
         }
-        let pid = rank as u32;
-        // Process + thread-name metadata so chrome://tracing labels lanes.
+        // Single-tenant: pid = rank, tid = lane. Multi-tenant: pid =
+        // job, tid = rank * 8 + lane (8 > the 7 lane ids, so lane
+        // groups of distinct ranks never collide within a job).
+        let rank = rank as u32;
+        let job = recs[0].job;
+        let pid = if trace.has_jobs { job } else { rank };
         if !first {
             out.push(',');
         }
         first = false;
-        let _ = write!(
-            out,
-            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"rank {pid}\"}}}}"
-        );
-        let mut lanes_seen = [false; 7];
-        for r in recs {
-            let (tid, lane_name) = lane(&r.event);
-            if !lanes_seen[tid as usize] {
-                lanes_seen[tid as usize] = true;
+        // Process + thread-name metadata so chrome://tracing labels lanes.
+        if trace.has_jobs {
+            if jobs_named.insert(job) {
                 let _ = write!(
                     out,
-                    ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{lane_name}\"}}}}"
+                    "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"job {job}\"}}}},"
                 );
             }
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{job}}}}}"
+            );
+        } else {
+            let _ = write!(
+                out,
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":\"rank {pid}\"}}}}"
+            );
+        }
+        let mut lanes_seen = [false; 7];
+        for r in recs {
+            let (lane_id, lane_name) = lane(&r.event);
+            let tid = if trace.has_jobs {
+                rank * 8 + lane_id
+            } else {
+                lane_id
+            };
+            if !lanes_seen[lane_id as usize] {
+                lanes_seen[lane_id as usize] = true;
+                if trace.has_jobs {
+                    let _ = write!(
+                        out,
+                        ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"rank {rank} {lane_name}\"}}}}"
+                    );
+                } else {
+                    let _ = write!(
+                        out,
+                        ",{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":\"{lane_name}\"}}}}"
+                    );
+                }
+            }
             out.push(',');
-            push_event(&mut out, pid, r.t_ns, &r.event);
+            push_event(&mut out, pid, tid, r.t_ns, &r.event);
         }
     }
     let _ = write!(

@@ -171,6 +171,11 @@ pub struct TraceRecord {
     pub t_ns: u64,
     /// Rank that emitted the event.
     pub rank: u32,
+    /// Job the emitting rank belongs to. Always 0 unless a job map was
+    /// installed on the recorder ([`crate::RingRecorder::set_job_map`]);
+    /// multi-tenant drivers install one so exporters can group lanes
+    /// per job.
+    pub job: u32,
     /// The event payload.
     pub event: TraceEvent,
 }

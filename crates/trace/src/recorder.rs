@@ -73,6 +73,7 @@ pub struct RingRecorder {
     wall_origin: Instant,
     capacity: usize,
     rings: Vec<OnceLock<EventRing>>,
+    job_of: OnceLock<Vec<u32>>,
 }
 
 impl RingRecorder {
@@ -93,7 +94,23 @@ impl RingRecorder {
             wall_origin: Instant::now(),
             capacity,
             rings: (0..ranks).map(|_| OnceLock::new()).collect(),
+            job_of: OnceLock::new(),
         })
+    }
+
+    /// Install a rank → job map so every subsequent record is stamped
+    /// with the emitting rank's job. Multi-tenant drivers call this once
+    /// right after construction; single-job runs never do, leaving
+    /// `job` at 0 everywhere and [`Trace::has_jobs`] false (so exporters
+    /// keep their legacy single-tenant layout). A second install is
+    /// ignored — the map is write-once like the rings.
+    pub fn set_job_map(&self, job_of: Vec<u32>) {
+        assert_eq!(
+            job_of.len(),
+            self.rings.len(),
+            "job map must cover every rank"
+        );
+        let _ = self.job_of.set(job_of);
     }
 
     /// How many ranks have materialized a ring so far (diagnostic for the
@@ -136,6 +153,7 @@ impl RingRecorder {
             seed: self.seed,
             attempt: self.attempt,
             clock: self.clock,
+            has_jobs: self.job_of.get().is_some(),
             dropped: self
                 .rings
                 .iter()
@@ -155,9 +173,14 @@ impl Tracer for RingRecorder {
     fn record(&self, rank: u32, event: TraceEvent) {
         if let Some(cell) = self.rings.get(rank as usize) {
             let ring = cell.get_or_init(|| EventRing::new(self.capacity));
+            let job = self
+                .job_of
+                .get()
+                .map_or(0, |m| m.get(rank as usize).copied().unwrap_or(0));
             ring.push(TraceRecord {
                 t_ns: self.now(),
                 rank,
+                job,
                 event,
             });
         }
@@ -279,6 +302,10 @@ pub struct Trace {
     pub per_rank: Vec<Vec<TraceRecord>>,
     /// Records rejected because a ring filled up.
     pub dropped: u64,
+    /// True when the recorder had a job map installed
+    /// ([`RingRecorder::set_job_map`]): records carry meaningful `job`
+    /// ids and exporters should group lanes per job.
+    pub has_jobs: bool,
 }
 
 impl Trace {

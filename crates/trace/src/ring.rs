@@ -107,6 +107,7 @@ mod tests {
         TraceRecord {
             t_ns: t,
             rank: 0,
+            job: 0,
             event: TraceEvent::Signal { outcome: "raised" },
         }
     }
